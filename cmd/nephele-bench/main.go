@@ -1,0 +1,147 @@
+// Command nephele-bench regenerates the paper's evaluation figures on the
+// simulated platform and prints their series and headline summaries.
+//
+// Usage:
+//
+//	nephele-bench -fig 4           # one figure at paper scale
+//	nephele-bench -fig all -quick  # every figure at reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nephele/internal/bench"
+	"nephele/internal/vclock"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11 or 'all'")
+	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
+	csvDir := flag.String("csv", "", "also write one CSV per series into this directory (for plotting)")
+	flag.Parse()
+
+	runners := map[string]func(bool) (*bench.Figure, error){
+		"4":  runFig4,
+		"5":  runFig5,
+		"6":  runFig6,
+		"7":  runFig7,
+		"8":  runFig8,
+		"9":  runFig9,
+		"10": runFig10,
+		"11": runFig11,
+	}
+	order := []string{"4", "5", "6", "7", "8", "9", "10", "11"}
+
+	var selected []string
+	if *figFlag == "all" {
+		selected = order
+	} else if _, ok := runners[*figFlag]; ok {
+		selected = []string{*figFlag}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..11 or all)\n", *figFlag)
+		os.Exit(2)
+	}
+
+	for _, id := range selected {
+		start := time.Now()
+		fig, err := runners[id](*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(fig.String())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, fig); err != nil {
+				fmt.Fprintf(os.Stderr, "fig%s csv: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSVs emits one "<fig>-<series>.csv" file per series, x,y per line —
+// directly loadable by gnuplot (the paper's plotting tool) or any
+// spreadsheet.
+func writeCSVs(dir string, fig *bench.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range fig.Series {
+		name := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				return r
+			default:
+				return '-'
+			}
+		}, s.Name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# %s: %s | x: %s | y: %s\n", fig.ID, s.Name, fig.XLabel, fig.YLabel)
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%g,%g\n", pt.X, pt.Y)
+		}
+		path := filepath.Join(dir, fig.ID+"-"+name+".csv")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig4(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFig4()
+	if quick {
+		cfg.Instances, cfg.SampleEvery = 100, 25
+	}
+	return bench.Fig4(cfg)
+}
+
+func runFig5(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFig5()
+	if quick {
+		cfg.HypMemoryBytes, cfg.Dom0MemoryBytes, cfg.SampleEvery = 2<<30, 1<<30, 200
+	}
+	return bench.Fig5(cfg)
+}
+
+func runFig6(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFig6()
+	if quick {
+		cfg.SizesMB = []int{1, 4, 16, 64, 256, 1024}
+	}
+	return bench.Fig6(cfg)
+}
+
+func runFig7(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFig7()
+	if quick {
+		cfg.Repetitions, cfg.RequestsPerRun = 5, 20000
+	}
+	return bench.Fig7(cfg)
+}
+
+func runFig8(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFig8()
+	if quick {
+		cfg.KeyCounts = []int{0, 1, 10, 100, 1000, 10000, 100000}
+	}
+	return bench.Fig8(cfg)
+}
+
+func runFig9(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFig9()
+	if quick {
+		cfg.Duration = 60 * vclock.Duration(time.Second)
+	}
+	return bench.Fig9(cfg)
+}
+
+func runFig10(bool) (*bench.Figure, error) { return bench.Fig10(bench.FaaSConfig{}) }
+
+func runFig11(bool) (*bench.Figure, error) { return bench.Fig11(bench.FaaSConfig{}) }

@@ -1,0 +1,3 @@
+module nephele
+
+go 1.22

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"nephele/internal/core"
+	"nephele/internal/guest"
+	"nephele/internal/hv"
+	"nephele/internal/mem"
+)
+
+// Fig5Config tunes the memory-density experiment (§6.2, Fig. 5).
+type Fig5Config struct {
+	// HypMemoryBytes is the guest-allocatable memory (the paper splits
+	// 16 GB into 4 GB Dom0 + 12 GB hypervisor).
+	HypMemoryBytes uint64
+	// Dom0MemoryBytes is the host-domain budget.
+	Dom0MemoryBytes uint64
+	// MaxInstances caps the run (0 = until out of memory).
+	MaxInstances int
+	// SampleEvery thins the reported points.
+	SampleEvery int
+}
+
+// DefaultFig5 returns the paper's 16 GB machine.
+func DefaultFig5() Fig5Config {
+	return Fig5Config{
+		HypMemoryBytes:  12 << 30,
+		Dom0MemoryBytes: 4 << 30,
+		SampleEvery:     100,
+	}
+}
+
+// fig5Platform sizes the per-domain tables small so thousands of domains
+// fit in the simulator's own memory (the guest-visible behaviour is
+// unchanged: the Fig. 4 guests use a handful of ports and grants).
+func fig5Platform(cfg Fig5Config) *core.Platform {
+	return core.NewPlatform(core.Options{
+		HV: hv.Config{
+			MemoryBytes:             cfg.HypMemoryBytes,
+			MaxEventPorts:           32,
+			GrantEntries:            32,
+			NotifyRingSlots:         128,
+			PerDomainOverheadFrames: 90,
+		},
+		SkipNameCheck: true,
+	})
+}
+
+// Fig5 regenerates Figure 5: free memory (hypervisor and Dom0) versus the
+// number of instances, for booting separate VMs and for cloning one VM.
+func Fig5(cfg Fig5Config) (*Figure, error) {
+	if cfg.HypMemoryBytes == 0 {
+		cfg = DefaultFig5()
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Memory consumption for booting vs. cloning",
+		XLabel: "# of instances",
+		YLabel: "free memory (GB)",
+	}
+	gb := func(b uint64) float64 { return float64(b) / (1 << 30) }
+
+	// --- booting ---
+	bootP := fig5Platform(cfg)
+	var bootHyp, bootDom0 Series
+	bootHyp.Name = "Booting Hyp free"
+	bootDom0.Name = "Booting Dom0 free"
+	booted := 0
+	for {
+		if cfg.MaxInstances > 0 && booted >= cfg.MaxInstances {
+			break
+		}
+		rec, err := bootP.Boot(miniOSUDP(fmt.Sprintf("b-%d", booted)), nil)
+		if err != nil {
+			if errors.Is(err, mem.ErrOutOfMemory) {
+				break
+			}
+			return nil, fmt.Errorf("fig5 boot %d: %w", booted, err)
+		}
+		if _, err := guest.Boot(bootP, rec, guest.FlavorMiniOS, nil); err != nil {
+			return nil, err
+		}
+		booted++
+		if booted%cfg.SampleEvery == 0 || booted == 1 {
+			m := bootP.Memory()
+			bootHyp.Points = append(bootHyp.Points, Point{X: float64(booted), Y: gb(m.HypFreeBytes)})
+			bootDom0.Points = append(bootDom0.Points, Point{X: float64(booted), Y: gb(cfg.Dom0MemoryBytes - m.Dom0UsedBytes)})
+		}
+	}
+
+	// --- cloning ---
+	cloneP := fig5Platform(cfg)
+	var cloneHyp, cloneDom0 Series
+	cloneHyp.Name = "Cloning Hyp free"
+	cloneDom0.Name = "Cloning Dom0 free"
+	rec, err := cloneP.Boot(miniOSUDP("clone-parent"), nil)
+	if err != nil {
+		return nil, err
+	}
+	k, err := guest.Boot(cloneP, rec, guest.FlavorMiniOS, nil)
+	if err != nil {
+		return nil, err
+	}
+	cloned := 1 // the parent counts as an instance
+	for {
+		if cfg.MaxInstances > 0 && cloned >= cfg.MaxInstances {
+			break
+		}
+		if _, err := k.Fork(1, nil, nil); err != nil {
+			if errors.Is(err, mem.ErrOutOfMemory) {
+				break
+			}
+			return nil, fmt.Errorf("fig5 clone %d: %w", cloned, err)
+		}
+		cloned++
+		if cloned%cfg.SampleEvery == 0 || cloned == 2 {
+			m := cloneP.Memory()
+			cloneHyp.Points = append(cloneHyp.Points, Point{X: float64(cloned), Y: gb(m.HypFreeBytes)})
+			cloneDom0.Points = append(cloneDom0.Points, Point{X: float64(cloned), Y: gb(cfg.Dom0MemoryBytes - m.Dom0UsedBytes)})
+		}
+	}
+
+	fig.Series = []Series{bootDom0, bootHyp, cloneDom0, cloneHyp}
+
+	perBootMB := float64(cfg.HypMemoryBytes) / (1 << 20) / float64(booted)
+	perCloneMB := float64(cfg.HypMemoryBytes) / (1 << 20) / float64(cloned)
+	saved := (float64(cloned-booted) * perBootMB) / 1024
+	fig.Summary = append(fig.Summary,
+		fmt.Sprintf("booted instances: %d (paper: 2800)", booted),
+		fmt.Sprintf("cloned instances: %d (paper: 8900)", cloned),
+		fmt.Sprintf("density increase: %.1fx (paper: ~3x)", float64(cloned)/float64(booted)),
+		fmt.Sprintf("memory per boot: %.1f MB (paper: ~4 MB + overheads)", perBootMB),
+		fmt.Sprintf("memory per clone: %.1f MB, of which 1 MB is the RX ring (paper: 1.6 MB)", perCloneMB),
+		fmt.Sprintf("estimated total memory saved: %.0f GB (paper: 21 GB)", saved),
+	)
+	return fig, nil
+}

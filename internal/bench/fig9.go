@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+
+	"nephele/internal/fuzz"
+	"nephele/internal/vclock"
+)
+
+// Fig9Config tunes the fuzzing-throughput experiment (§7.2, Fig. 9).
+type Fig9Config struct {
+	// Duration is the virtual campaign length (the paper runs 300 s).
+	Duration vclock.Duration
+	// Window is the sampling window for the executions/second series.
+	Window vclock.Duration
+	// Seed fixes the campaign.
+	Seed uint32
+}
+
+// DefaultFig9 returns the paper's 300-second session with 10 s windows.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		Duration: 300 * vclock.Duration(1000*1000*1000),
+		Window:   10 * vclock.Duration(1000*1000*1000),
+		Seed:     1,
+	}
+}
+
+// fig9Series names one run configuration.
+type fig9Series struct {
+	name    string
+	mode    fuzz.Mode
+	getppid bool
+}
+
+// Fig9 regenerates Figure 9: fuzzing throughput over time for Unikraft
+// with and without cloning (plus their getppid baselines), the native
+// Linux process under AFL, and the Linux kernel module under KFX+AFL.
+func Fig9(cfg Fig9Config) (*Figure, error) {
+	if cfg.Duration == 0 {
+		cfg = DefaultFig9()
+	}
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  "Fuzzing throughput",
+		XLabel: "time elapsed (s)",
+		YLabel: "throughput (executions/s)",
+	}
+	runs := []fig9Series{
+		{"Unikraft baseline (KFX+AFL)", fuzz.ModeUnikraftBoot, true},
+		{"Unikraft (KFX+AFL)", fuzz.ModeUnikraftBoot, false},
+		{"Unikraft+cloning baseline (KFX+AFL)", fuzz.ModeUnikraftClone, true},
+		{"Unikraft+cloning (KFX+AFL)", fuzz.ModeUnikraftClone, false},
+		{"Linux process baseline (AFL)", fuzz.ModeLinuxProcess, true},
+		{"Linux process (AFL)", fuzz.ModeLinuxProcess, false},
+		{"Linux kernel module baseline (KFX+AFL)", fuzz.ModeLinuxKernelModule, true},
+	}
+	avg := map[string]float64{}
+	var stats = map[string]fuzz.Stats{}
+	for _, run := range runs {
+		s, err := fuzz.NewSession(fuzz.Config{Mode: run.mode, GetppidOnly: run.getppid, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", run.name, err)
+		}
+		series, rate, err := fig9Run(s, cfg)
+		s.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", run.name, err)
+		}
+		series.Name = run.name
+		fig.Series = append(fig.Series, series)
+		avg[run.name] = rate
+		stats[run.name] = s.Stats()
+	}
+
+	clone := avg["Unikraft+cloning (KFX+AFL)"]
+	noClone := avg["Unikraft (KFX+AFL)"]
+	linux := avg["Linux process (AFL)"]
+	module := avg["Linux kernel module baseline (KFX+AFL)"]
+	cs := stats["Unikraft+cloning (KFX+AFL)"]
+	ms9 := stats["Linux kernel module baseline (KFX+AFL)"]
+	fig.Summary = append(fig.Summary,
+		fmt.Sprintf("Unikraft without cloning: %.1f exec/s (paper: ~2)", noClone),
+		fmt.Sprintf("Unikraft with cloning: %.0f exec/s (paper: ~470)", clone),
+		fmt.Sprintf("Linux process: %.0f exec/s (paper: ~590); cloning within %.1f%% (paper: 18.6%% lower)",
+			linux, (linux-clone)/linux*100),
+		fmt.Sprintf("Linux kernel module: %.0f exec/s, %.1f%% below cloning (paper: 320, 31.9%% lower)",
+			module, (clone-module)/clone*100),
+		fmt.Sprintf("dirty pages per iteration: Unikraft %.1f vs Linux module %.1f (paper: ~3 vs ~8)",
+			cs.AvgDirtyPages, ms9.AvgDirtyPages),
+		fmt.Sprintf("memory reset: Unikraft %v vs Linux module %v (paper: ~125 µs vs ~250 µs)",
+			cs.AvgResetTime, ms9.AvgResetTime),
+	)
+	return fig, nil
+}
+
+// fig9Run drives one session for cfg.Duration of virtual time, sampling
+// executions/second every window.
+func fig9Run(s *fuzz.Session, cfg Fig9Config) (Series, float64, error) {
+	var series Series
+	meter := vclock.NewMeter(nil)
+	var iters, windowIters int
+	windowEnd := cfg.Window
+	for meter.Elapsed() < cfg.Duration {
+		if _, err := s.Iterate(meter); err != nil {
+			return series, 0, err
+		}
+		iters++
+		windowIters++
+		for meter.Elapsed() >= windowEnd {
+			series.Points = append(series.Points, Point{
+				X: windowEnd.Seconds(),
+				Y: float64(windowIters) / cfg.Window.Seconds(),
+			})
+			windowIters = 0
+			windowEnd += cfg.Window
+		}
+	}
+	return series, float64(iters) / meter.Elapsed().Seconds(), nil
+}

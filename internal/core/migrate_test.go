@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"nephele/internal/mem"
+)
+
+func TestMigrateMovesDomainAcrossPlatforms(t *testing.T) {
+	src := smallPlatform(Options{SkipNameCheck: true})
+	dst := smallPlatform(Options{SkipNameCheck: true})
+	rec, err := src.Boot(udpServerConfig("traveller"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, _ := src.HV.Domain(rec.ID)
+	if err := dom.Space().Write(7, 0, []byte("guest state"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	meter := src.NewMeter()
+	newRec, res, err := src.Migrate(rec.ID, dst, "", meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guest state arrived intact.
+	newDom, err := dst.HV.Domain(newRec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	newDom.Space().Read(7, 0, buf)
+	if string(buf) != "guest state" {
+		t.Fatalf("migrated state = %q", buf)
+	}
+	// Source gone, target registered.
+	if _, err := src.XL.Record(rec.ID); err == nil {
+		t.Fatal("source record survived migration")
+	}
+	if src.Memory().Instances != 0 || dst.Memory().Instances != 1 {
+		t.Fatalf("instance counts = %d/%d", src.Memory().Instances, dst.Memory().Instances)
+	}
+	if res.PagesMoved != rec.Config.Pages() {
+		t.Fatalf("PagesMoved = %d", res.PagesMoved)
+	}
+	if res.Downtime <= 0 {
+		t.Fatal("no downtime recorded")
+	}
+	// The new domain's p2m maps target frames (all resolvable).
+	if _, err := newDom.Space().MFNOf(mem.PFN(0)); err != nil {
+		t.Fatal(err)
+	}
+	// The migrated guest keeps working on the target.
+	if err := newDom.Space().Write(7, 0, []byte("after-move!"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateRefusesFamilyMembers(t *testing.T) {
+	src := smallPlatform(Options{SkipNameCheck: true})
+	dst := smallPlatform(Options{SkipNameCheck: true})
+	rec, _ := src.Boot(udpServerConfig("parent"), nil)
+	res, err := src.Clone(rec.ID, rec.ID, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither the parent (live children) nor the clone may move.
+	if _, _, err := src.Migrate(rec.ID, dst, "", nil); !errors.Is(err, ErrMigrateClone) {
+		t.Fatalf("parent migration: %v", err)
+	}
+	if _, _, err := src.Migrate(res.Children[0], dst, "", nil); !errors.Is(err, ErrMigrateClone) {
+		t.Fatalf("clone migration: %v", err)
+	}
+}
+
+func TestMigrateToSelfRefused(t *testing.T) {
+	p := smallPlatform(Options{SkipNameCheck: true})
+	rec, _ := p.Boot(udpServerConfig("x"), nil)
+	if _, _, err := p.Migrate(rec.ID, p, "", nil); !errors.Is(err, ErrMigrateSelf) {
+		t.Fatalf("self migration: %v", err)
+	}
+}
+
+func TestMigrateNameCollisionOnTarget(t *testing.T) {
+	src := smallPlatform(Options{SkipNameCheck: true})
+	dst := smallPlatform(Options{SkipNameCheck: true})
+	if _, err := dst.Boot(udpServerConfig("taken"), nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := src.Boot(udpServerConfig("taken"), nil)
+	if _, _, err := src.Migrate(rec.ID, dst, "", nil); err == nil {
+		t.Fatal("migration over a taken name succeeded")
+	}
+	// The source survives a failed migration and is resumed.
+	dom, err := src.HV.Domain(rec.ID)
+	if err != nil {
+		t.Fatal("source lost after failed migration")
+	}
+	if dom.Paused() {
+		t.Fatal("source left paused after failed migration")
+	}
+	// Retry with a fresh name works.
+	if _, _, err := src.Migrate(rec.ID, dst, "renamed", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigratedDomainCanCloneOnTarget(t *testing.T) {
+	src := smallPlatform(Options{SkipNameCheck: true})
+	dst := smallPlatform(Options{SkipNameCheck: true})
+	rec, _ := src.Boot(udpServerConfig("mobile"), nil)
+	newRec, _, err := src.Migrate(rec.ID, dst, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dst.Clone(newRec.ID, newRec.ID, 1, nil)
+	if err != nil {
+		t.Fatalf("clone after migration: %v", err)
+	}
+	if !dst.HV.SameFamily(newRec.ID, res.Children[0]) {
+		t.Fatal("family relation missing on target")
+	}
+}

@@ -1,0 +1,125 @@
+package evtchn
+
+import (
+	"errors"
+	"testing"
+
+	"nephele/internal/mem"
+)
+
+func TestSetHandlerPreservesPorts(t *testing.T) {
+	s := New(16)
+	s.AddDomain(1, nil)
+	s.AddDomain(2, nil)
+	up, _ := s.AllocUnbound(1, 2)
+	bp, _ := s.BindInterdomain(2, 1, up)
+
+	// Installing a handler later (the guest kernel starting inside an
+	// already-created domain) must keep the existing channels.
+	r := &recorder{}
+	s.SetHandler(1, r.handler())
+	if got := s.State(1, up); got != StateInterdomain {
+		t.Fatalf("state after SetHandler = %v", got)
+	}
+	if err := s.Send(2, bp); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.got(); len(got) != 1 || got[0] != up {
+		t.Fatalf("delivered %v", got)
+	}
+	// SetHandler on an unknown domain is a no-op, not a panic.
+	s.SetHandler(99, r.handler())
+}
+
+func TestPeer(t *testing.T) {
+	s := New(16)
+	s.AddDomain(1, nil)
+	s.AddDomain(2, nil)
+	up, _ := s.AllocUnbound(1, 2)
+	bp, _ := s.BindInterdomain(2, 1, up)
+	dom, port, err := s.Peer(2, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom != 1 || port != up {
+		t.Fatalf("Peer = (%d, %d), want (1, %d)", dom, port, up)
+	}
+	// Errors: unbound port, bad port, unknown domain.
+	free, _ := s.AllocUnbound(1, 2)
+	if _, _, err := s.Peer(1, free); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Peer on unbound: %v", err)
+	}
+	if _, _, err := s.Peer(1, 99); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("Peer bad port: %v", err)
+	}
+	if _, _, err := s.Peer(42, 1); !errors.Is(err, ErrNoSuchDom) {
+		t.Fatalf("Peer unknown dom: %v", err)
+	}
+}
+
+func TestSendToChildErrors(t *testing.T) {
+	s := New(16)
+	s.AddDomain(1, nil)
+	s.AddDomain(5, nil)
+	wp, _ := s.AllocUnbound(1, mem.DomIDChild)
+	// Wrong state: a non-wildcard port.
+	np, _ := s.AllocUnbound(1, 2)
+	if err := s.SendToChild(1, np, 5); !errors.Is(err, ErrBadState) {
+		t.Fatalf("SendToChild on non-wildcard: %v", err)
+	}
+	if err := s.SendToChild(1, 99, 5); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("SendToChild bad port: %v", err)
+	}
+	if err := s.SendToChild(42, wp, 5); !errors.Is(err, ErrNoSuchDom) {
+		t.Fatalf("SendToChild unknown dom: %v", err)
+	}
+	// Valid delivery to a child without a handler just sets pending.
+	s.CloneDomain(1, 5, nil)
+	if err := s.SendToChild(1, wp, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pending(5, wp) {
+		t.Fatal("pending not set on child")
+	}
+}
+
+func TestNotifyParentErrors(t *testing.T) {
+	s := New(16)
+	s.AddDomain(1, nil)
+	s.AddDomain(5, nil)
+	if err := s.NotifyParent(42, 1); !errors.Is(err, ErrNoSuchDom) {
+		t.Fatalf("NotifyParent unknown dom: %v", err)
+	}
+	if err := s.NotifyParent(5, 99); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("NotifyParent bad port: %v", err)
+	}
+	up, _ := s.AllocUnbound(5, 1)
+	if err := s.NotifyParent(5, up); !errors.Is(err, ErrBadState) {
+		t.Fatalf("NotifyParent on unbound: %v", err)
+	}
+}
+
+func TestCloseVIRQUnregisters(t *testing.T) {
+	s := New(16)
+	r := &recorder{}
+	s.AddDomain(1, r.handler())
+	p, _ := s.BindVIRQ(1, VIRQCloned)
+	if err := s.Close(1, p); err != nil {
+		t.Fatal(err)
+	}
+	s.RaiseVIRQ(VIRQCloned, nil)
+	if len(r.got()) != 0 {
+		t.Fatal("closed VIRQ port still delivered")
+	}
+}
+
+func TestCloseErrors(t *testing.T) {
+	s := New(16)
+	s.AddDomain(1, nil)
+	if err := s.Close(1, 0); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("close port 0: %v", err)
+	}
+	if err := s.Close(9, 1); !errors.Is(err, ErrNoSuchDom) {
+		t.Fatalf("close on unknown dom: %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+package evtchn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"nephele/internal/mem"
+	"nephele/internal/vclock"
+)
+
+// recorder collects delivered events for one domain.
+type recorder struct {
+	mu    sync.Mutex
+	ports []Port
+}
+
+func (r *recorder) handler() Handler {
+	return func(p Port) {
+		r.mu.Lock()
+		r.ports = append(r.ports, p)
+		r.mu.Unlock()
+	}
+}
+
+func (r *recorder) got() []Port {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Port, len(r.ports))
+	copy(out, r.ports)
+	return out
+}
+
+func newPair(t *testing.T) (*Subsystem, *recorder, *recorder) {
+	t.Helper()
+	s := New(64)
+	ra, rb := &recorder{}, &recorder{}
+	s.AddDomain(1, ra.handler())
+	s.AddDomain(2, rb.handler())
+	return s, ra, rb
+}
+
+func TestAllocUnboundAndBind(t *testing.T) {
+	s, ra, _ := newPair(t)
+	up, err := s.AllocUnbound(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State(1, up); got != StateUnbound {
+		t.Fatalf("state = %v, want unbound", got)
+	}
+	bp, err := s.BindInterdomain(2, 1, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State(1, up); got != StateInterdomain {
+		t.Fatalf("state after bind = %v", got)
+	}
+	// Send from dom2 lands on dom1's port.
+	if err := s.Send(2, bp); err != nil {
+		t.Fatal(err)
+	}
+	if got := ra.got(); len(got) != 1 || got[0] != up {
+		t.Fatalf("delivered %v, want [%d]", got, up)
+	}
+	if !s.Pending(1, up) {
+		t.Fatal("pending bit not set")
+	}
+	if s.Pending(1, up) {
+		t.Fatal("pending bit not cleared by read")
+	}
+}
+
+func TestBindToConnectedPortFails(t *testing.T) {
+	s, _, _ := newPair(t)
+	up, _ := s.AllocUnbound(1, 2)
+	if _, err := s.BindInterdomain(2, 1, up); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BindInterdomain(2, 1, up); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double bind: %v, want ErrBadState", err)
+	}
+}
+
+func TestSendUnboundIsDropped(t *testing.T) {
+	s, _, _ := newPair(t)
+	up, _ := s.AllocUnbound(1, 2)
+	if err := s.Send(1, up); err != nil {
+		t.Fatalf("send on unbound should drop, got %v", err)
+	}
+}
+
+func TestSendBadPort(t *testing.T) {
+	s, _, _ := newPair(t)
+	if err := s.Send(1, 99); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("send bad port: %v", err)
+	}
+	if err := s.Send(7, 1); !errors.Is(err, ErrNoSuchDom) {
+		t.Fatalf("send from unknown dom: %v", err)
+	}
+}
+
+func TestVIRQ(t *testing.T) {
+	s, ra, rb := newPair(t)
+	pa, err := s.BindVIRQ(1, VIRQCloned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := vclock.NewMeter(nil)
+	s.RaiseVIRQ(VIRQCloned, meter)
+	if got := ra.got(); len(got) != 1 || got[0] != pa {
+		t.Fatalf("virq delivered %v, want [%d]", got, pa)
+	}
+	if len(rb.got()) != 0 {
+		t.Fatal("virq delivered to unbound domain")
+	}
+	if meter.Elapsed() != meter.Costs().VIRQDeliver {
+		t.Fatalf("charged %v, want one VIRQDeliver", meter.Elapsed())
+	}
+}
+
+func TestClose(t *testing.T) {
+	s, _, _ := newPair(t)
+	up, _ := s.AllocUnbound(1, 2)
+	bp, _ := s.BindInterdomain(2, 1, up)
+	if err := s.Close(1, up); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State(1, up); got != StateFree {
+		t.Fatalf("state after close = %v", got)
+	}
+	// Peer end reverts to unbound, like Xen.
+	if got := s.State(2, bp); got != StateUnbound {
+		t.Fatalf("peer state after close = %v", got)
+	}
+}
+
+func TestChildWildcardLifecycle(t *testing.T) {
+	// Parent allocates an IDC endpoint with DOMID_CHILD before any clone
+	// exists; sends are dropped; after CloneDomain the child is bound and
+	// notifications flow both ways.
+	s := New(64)
+	rp, rc := &recorder{}, &recorder{}
+	s.AddDomain(1, rp.handler())
+	wp, err := s.AllocUnbound(1, mem.DomIDChild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State(1, wp); got != StateChildWildcard {
+		t.Fatalf("state = %v, want child-wildcard", got)
+	}
+	if err := s.Send(1, wp); err != nil {
+		t.Fatalf("send before clone: %v", err)
+	}
+
+	s.AddDomain(5, rc.handler())
+	st, err := s.CloneDomain(1, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IDCBound != 1 {
+		t.Fatalf("IDCBound = %d, want 1", st.IDCBound)
+	}
+	// Parent -> child.
+	if err := s.SendToChild(1, wp, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.got(); len(got) != 1 || got[0] != wp {
+		t.Fatalf("child delivered %v, want [%d]", got, wp)
+	}
+	// Child -> parent: the child's cloned endpoint is a real
+	// interdomain channel back to the parent.
+	if err := s.NotifyParent(5, wp); err != nil {
+		t.Fatal(err)
+	}
+	if got := rp.got(); len(got) != 1 || got[0] != wp {
+		t.Fatalf("parent delivered %v, want [%d]", got, wp)
+	}
+}
+
+func TestCloneDomainReplicatesVIRQAndDeviceChannels(t *testing.T) {
+	s := New(64)
+	s.AddDomain(0, nil) // dom0 backend
+	s.AddDomain(1, nil)
+	// A device channel to dom0 and a VIRQ binding.
+	up, _ := s.AllocUnbound(0, 1)
+	devPort, err := s.BindInterdomain(1, 0, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virqPort, _ := s.BindVIRQ(1, VIRQ(3))
+
+	s.AddDomain(9, nil)
+	meter := vclock.NewMeter(nil)
+	st, err := s.CloneDomain(1, 9, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cloned != 2 {
+		t.Fatalf("Cloned = %d, want 2", st.Cloned)
+	}
+	// Device channel is recreated unbound in the child: the device
+	// cloning path reconnects it.
+	if got := s.State(9, devPort); got != StateUnbound {
+		t.Fatalf("child device port = %v, want unbound", got)
+	}
+	if got := s.State(9, virqPort); got != StateVIRQ {
+		t.Fatalf("child virq port = %v, want virq", got)
+	}
+	if meter.Elapsed() != 2*meter.Costs().EvtchnClone {
+		t.Fatalf("charged %v, want 2 EvtchnClone", meter.Elapsed())
+	}
+}
+
+func TestRemoveDomainResetsPeers(t *testing.T) {
+	s, _, _ := newPair(t)
+	up, _ := s.AllocUnbound(1, 2)
+	bp, _ := s.BindInterdomain(2, 1, up)
+	s.RemoveDomain(2)
+	if got := s.State(1, up); got != StateUnbound {
+		t.Fatalf("surviving peer state = %v, want unbound", got)
+	}
+	if err := s.Send(2, bp); !errors.Is(err, ErrNoSuchDom) {
+		t.Fatalf("send from removed dom: %v", err)
+	}
+}
+
+func TestPortExhaustion(t *testing.T) {
+	s := New(4) // ports 1..3 usable
+	s.AddDomain(1, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := s.AllocUnbound(1, 2); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := s.AllocUnbound(1, 2); !errors.Is(err, ErrPortsFull) {
+		t.Fatalf("alloc beyond table: %v, want ErrPortsFull", err)
+	}
+}
+
+func TestPortCount(t *testing.T) {
+	s, _, _ := newPair(t)
+	s.AllocUnbound(1, 2)
+	s.BindVIRQ(1, VIRQ(2))
+	if got := s.PortCount(1); got != 2 {
+		t.Fatalf("PortCount = %d, want 2", got)
+	}
+	if got := s.PortCount(42); got != 0 {
+		t.Fatalf("PortCount(unknown) = %d, want 0", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for _, st := range []State{StateFree, StateUnbound, StateInterdomain, StateVIRQ, StateChildWildcard, State(200)} {
+		if st.String() == "" {
+			t.Errorf("State(%d) empty string", st)
+		}
+	}
+}
+
+func TestMaskedPortSuppressesHandler(t *testing.T) {
+	// Covered indirectly: handler nil means no delivery but pending set.
+	s := New(16)
+	s.AddDomain(1, nil)
+	s.AddDomain(2, nil)
+	up, _ := s.AllocUnbound(1, 2)
+	bp, _ := s.BindInterdomain(2, 1, up)
+	if err := s.Send(2, bp); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pending(1, up) {
+		t.Fatal("pending not set with nil handler")
+	}
+}

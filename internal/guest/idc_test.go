@@ -1,0 +1,235 @@
+package guest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIDCAllocSharedRegion(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	region, err := k.IDCAlloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(region.Refs) != 2 {
+		t.Fatalf("grant refs = %d", len(region.Refs))
+	}
+	// Writes before fork land in the region.
+	if err := k.WriteAt(region.Base(), []byte("pre-fork"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := res.Children[0]
+	buf := make([]byte, 8)
+	ck.ReadAt(region.Base(), buf)
+	if string(buf) != "pre-fork" {
+		t.Fatalf("child IDC read %q", buf)
+	}
+	// True sharing: a post-fork parent write IS visible to the child
+	// (no COW on IDC pages).
+	k.WriteAt(region.Base(), []byte("mutated!"), nil)
+	ck.ReadAt(region.Base(), buf)
+	if string(buf) != "mutated!" {
+		t.Fatalf("IDC page was COWed: child sees %q", buf)
+	}
+	// And the reverse.
+	ck.WriteAt(region.Base(), []byte("from-chi"), nil)
+	k.ReadAt(region.Base(), buf)
+	if string(buf) != "from-chi" {
+		t.Fatalf("parent sees %q", buf)
+	}
+}
+
+func TestIDCChannelNotification(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	ch, err := k.IDCChannelOpen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := res.Children[0]
+	// Parent -> child.
+	if err := k.NotifyChild(ch, ck.Dom); err != nil {
+		t.Fatal(err)
+	}
+	if !ck.AwaitSignal(ch, time.Second) {
+		t.Fatal("child missed parent's signal")
+	}
+	// Child -> parent.
+	if err := ck.NotifyParent(ch); err != nil {
+		t.Fatal(err)
+	}
+	if !k.AwaitSignal(ch, time.Second) {
+		t.Fatal("parent missed child's signal")
+	}
+}
+
+func TestPipeParentToChild(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	pipe, err := k.NewPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpipe := pipe.ForChild(res.Children[0])
+
+	msg := []byte("hello through the pipe")
+	if _, err := pipe.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	n, err := cpipe.Read(buf, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != string(msg) {
+		t.Fatalf("child read %q", buf[:n])
+	}
+}
+
+func TestPipeChildToParent(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	pipe, err := k.NewPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	childDone := make(chan error, 1)
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := res.Children[0]
+	cpipe := pipe.ForChild(ck)
+	go func() {
+		_, err := cpipe.Write([]byte("result=42"))
+		childDone <- err
+	}()
+	buf := make([]byte, 9)
+	n, err := pipe.Read(buf, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "result=42" {
+		t.Fatalf("parent read %q", buf[:n])
+	}
+	if err := <-childDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeLargeTransferWrapsRing(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	pipe, err := k.NewPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpipe := pipe.ForChild(res.Children[0])
+
+	// 10 KiB through a <4 KiB ring requires concurrent drain.
+	payload := make([]byte, 10*1024)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	writeDone := make(chan error, 1)
+	go func() {
+		_, err := pipe.Write(payload)
+		writeDone <- err
+	}()
+	got := make([]byte, 0, len(payload))
+	buf := make([]byte, 1024)
+	for len(got) < len(payload) {
+		n, err := cpipe.Read(buf, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := <-writeDone; err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+func TestPipeReadTimeout(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	pipe, err := k.NewPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := pipe.Read(buf, 50*time.Millisecond); err != ErrPipeTimeout {
+		t.Fatalf("read on empty pipe: %v", err)
+	}
+}
+
+func TestPipeClosed(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	pipe, _ := k.NewPipe()
+	pipe.Close()
+	if _, err := pipe.Write([]byte("x")); err != ErrPipeClosed {
+		t.Fatalf("write on closed pipe: %v", err)
+	}
+	if _, err := pipe.Read(make([]byte, 1), time.Millisecond); err != ErrPipeClosed {
+		t.Fatalf("read on closed pipe: %v", err)
+	}
+}
+
+func TestSocketPairBidirectional(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	sp, err := k.NewSocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csp := sp.ForChild(res.Children[0])
+
+	// Parent -> child.
+	if _, err := sp.Send(true, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := csp.Recv(false, buf, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("child got %q", buf)
+	}
+	// Child -> parent.
+	if _, err := csp.Send(false, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Recv(true, buf, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Fatalf("parent got %q", buf)
+	}
+}
+
+func TestIDCBadSize(t *testing.T) {
+	_, k := testEnv(t, guestCfg("g0"))
+	if _, err := k.IDCAlloc(0); err == nil {
+		t.Fatal("IDCAlloc(0) succeeded")
+	}
+}

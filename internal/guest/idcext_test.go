@@ -1,0 +1,176 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMsgQueueSendRecvAcrossFork(t *testing.T) {
+	_, k := testEnv(t, guestCfg("mq"))
+	q, err := k.NewMsgQueue(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := q.ForChild(res.Children[0])
+
+	// Parent -> child.
+	if err := q.TrySend([]byte("job 1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TrySend([]byte("job 2")); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := cq.Len(); n != 2 {
+		t.Fatalf("Len = %d", n)
+	}
+	msg, err := cq.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "job 1" {
+		t.Fatalf("Recv = %q", msg)
+	}
+	msg, _ = cq.TryRecv()
+	if string(msg) != "job 2" {
+		t.Fatalf("second Recv = %q", msg)
+	}
+	if _, err := cq.TryRecv(); !errors.Is(err, ErrQueueEmpty) {
+		t.Fatalf("empty TryRecv: %v", err)
+	}
+	// Child -> parent on the same queue.
+	if err := cq.TrySend([]byte("result")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = q.Recv(time.Second)
+	if err != nil || string(msg) != "result" {
+		t.Fatalf("parent Recv = %q, %v", msg, err)
+	}
+}
+
+func TestMsgQueueBounds(t *testing.T) {
+	_, k := testEnv(t, guestCfg("mqb"))
+	q, err := k.NewMsgQueue(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TrySend(make([]byte, 9)); !errors.Is(err, ErrMsgTooBig) {
+		t.Fatalf("oversized send: %v", err)
+	}
+	q.TrySend([]byte("a"))
+	q.TrySend([]byte("b"))
+	if err := q.TrySend([]byte("c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full send: %v", err)
+	}
+	// Blocking send drains when a consumer appears.
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := q.ForChild(res.Children[0])
+	done := make(chan error, 1)
+	go func() { done <- q.Send([]byte("c"), 2*time.Second) }()
+	if _, err := cq.Recv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocking send: %v", err)
+	}
+	if _, err := k.NewMsgQueue(0, 8); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestMsgQueueWrapsSlots(t *testing.T) {
+	_, k := testEnv(t, guestCfg("mqw"))
+	q, _ := k.NewMsgQueue(3, 16)
+	for round := 0; round < 10; round++ {
+		msg := fmt.Sprintf("round-%d", round)
+		if err := q.TrySend([]byte(msg)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.TryRecv()
+		if err != nil || string(got) != msg {
+			t.Fatalf("round %d: %q, %v", round, got, err)
+		}
+	}
+}
+
+func TestMsgQueueEmptyMessage(t *testing.T) {
+	_, k := testEnv(t, guestCfg("mqe"))
+	q, _ := k.NewMsgQueue(2, 16)
+	if err := q.TrySend(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.TryRecv()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty message round trip: %q, %v", got, err)
+	}
+}
+
+func TestSemaphoreAcrossFork(t *testing.T) {
+	_, k := testEnv(t, guestCfg("sem"))
+	sem, err := k.NewSemaphore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Fork(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csem := sem.ForChild(res.Children[0])
+
+	// The child takes the only permit...
+	if err := csem.Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := sem.TryWait(); ok {
+		t.Fatal("parent acquired an exhausted semaphore")
+	}
+	// ...the parent blocks until the child posts.
+	done := make(chan error, 1)
+	go func() { done <- sem.Wait(2 * time.Second) }()
+	if err := csem.Post(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("parent wait: %v", err)
+	}
+	if v, _ := sem.Value(); v != 0 {
+		t.Fatalf("Value = %d", v)
+	}
+}
+
+func TestSemaphoreTimeout(t *testing.T) {
+	_, k := testEnv(t, guestCfg("semt"))
+	sem, _ := k.NewSemaphore(0)
+	if err := sem.Wait(30 * time.Millisecond); !errors.Is(err, ErrSemTimeout) {
+		t.Fatalf("wait on zero semaphore: %v", err)
+	}
+	if _, err := k.NewSemaphore(-1); err == nil {
+		t.Fatal("negative initial accepted")
+	}
+}
+
+func TestSemaphoreCounts(t *testing.T) {
+	_, k := testEnv(t, guestCfg("semc"))
+	sem, _ := k.NewSemaphore(3)
+	for i := 0; i < 3; i++ {
+		if ok, err := sem.TryWait(); !ok || err != nil {
+			t.Fatalf("TryWait %d: %v %v", i, ok, err)
+		}
+	}
+	if ok, _ := sem.TryWait(); ok {
+		t.Fatal("fourth TryWait succeeded")
+	}
+	sem.Post()
+	sem.Post()
+	if v, _ := sem.Value(); v != 2 {
+		t.Fatalf("Value = %d", v)
+	}
+}

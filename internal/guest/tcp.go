@@ -1,0 +1,248 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nephele/internal/netsim"
+)
+
+// Guest-side connection layer over the netfront: listeners accept
+// connections the Dom0 switch hashed to this guest's vif. On processes
+// this role is played by SO_REUSEPORT socket sharding; on clones the bond
+// picks the worker, so every clone listens on the SAME address and port
+// and only sees the connections hashed to it (§7.1).
+
+// TCP errors (guest side).
+var (
+	ErrNoListener  = errors.New("guest: no listener on port")
+	ErrAcceptAgain = errors.New("guest: no pending connection")
+)
+
+// tcpKey identifies a guest-side connection.
+type tcpKey struct {
+	remoteIP   netsim.IP
+	remotePort uint16
+	localPort  uint16
+}
+
+// TCPConn is the guest side of one established connection.
+type TCPConn struct {
+	k   *Kernel
+	key tcpKey
+
+	mu     sync.Mutex
+	inbox  [][]byte
+	closed bool
+}
+
+// RemotePort reports the peer's port (the wrk connection identity).
+func (c *TCPConn) RemotePort() uint16 { return c.key.remotePort }
+
+// TCPListener accepts connections on one port.
+type TCPListener struct {
+	k       *Kernel
+	port    uint16
+	mu      sync.Mutex
+	pending []*TCPConn
+}
+
+// tcpState is the kernel's connection table, created on first use.
+type tcpState struct {
+	mu        sync.Mutex
+	listeners map[uint16]*TCPListener
+	conns     map[tcpKey]*TCPConn
+}
+
+func (k *Kernel) tcp() *tcpState {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.tcpSt == nil {
+		k.tcpSt = &tcpState{
+			listeners: make(map[uint16]*TCPListener),
+			conns:     make(map[tcpKey]*TCPConn),
+		}
+	}
+	return k.tcpSt
+}
+
+// ListenTCP opens a listener on port.
+func (k *Kernel) ListenTCP(port uint16) (*TCPListener, error) {
+	if k.vif == nil {
+		return nil, ErrNoVif
+	}
+	st := k.tcp()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, taken := st.listeners[port]; taken {
+		return nil, fmt.Errorf("guest: port %d already listening", port)
+	}
+	l := &TCPListener{k: k, port: port}
+	st.listeners[port] = l
+	return l, nil
+}
+
+// pumpTCP drains the vif RX queue, demultiplexing TCP segments into
+// listeners and connections. Non-TCP packets are requeued for Recv.
+func (k *Kernel) pumpTCP() {
+	if k.vif == nil {
+		return
+	}
+	st := k.tcp()
+	for {
+		p, ok := k.vif.GuestReceive()
+		if !ok {
+			return
+		}
+		if p.Proto != netsim.ProtoTCP {
+			// Hand non-TCP traffic back to the datagram path.
+			k.mu.Lock()
+			k.pendingPkts = append(k.pendingPkts, p)
+			k.mu.Unlock()
+			continue
+		}
+		key := tcpKey{remoteIP: p.SrcIP, remotePort: p.SrcPort, localPort: p.DstPort}
+		flags := netsim.SegmentFlags(p.Payload)
+		switch {
+		case flags&netsim.TCPSyn != 0:
+			st.mu.Lock()
+			l := st.listeners[p.DstPort]
+			if l == nil {
+				st.mu.Unlock()
+				// Refused: reply FIN.
+				k.vif.GuestSend(netsim.Packet{
+					SrcIP: k.vif.IP, DstIP: p.SrcIP,
+					SrcPort: p.DstPort, DstPort: p.SrcPort,
+					Proto: netsim.ProtoTCP, Payload: netsim.Segment(netsim.TCPFin, nil),
+				})
+				continue
+			}
+			conn := &TCPConn{k: k, key: key}
+			st.conns[key] = conn
+			st.mu.Unlock()
+			l.mu.Lock()
+			l.pending = append(l.pending, conn)
+			l.mu.Unlock()
+			// SYN-ACK completes the handshake.
+			k.vif.GuestSend(netsim.Packet{
+				SrcIP: k.vif.IP, DstIP: p.SrcIP,
+				SrcPort: p.DstPort, DstPort: p.SrcPort,
+				Proto: netsim.ProtoTCP, Payload: netsim.Segment(netsim.TCPAck, nil),
+			})
+		case flags&netsim.TCPFin != 0:
+			st.mu.Lock()
+			conn := st.conns[key]
+			delete(st.conns, key)
+			st.mu.Unlock()
+			if conn != nil {
+				conn.mu.Lock()
+				conn.closed = true
+				conn.mu.Unlock()
+			}
+		case flags&netsim.TCPData != 0:
+			st.mu.Lock()
+			conn := st.conns[key]
+			st.mu.Unlock()
+			if conn != nil {
+				conn.mu.Lock()
+				conn.inbox = append(conn.inbox, netsim.SegmentData(p.Payload))
+				conn.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Accept returns the next pending connection, blocking up to timeout.
+func (l *TCPListener) Accept(timeout time.Duration) (*TCPConn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		l.k.pumpTCP()
+		l.mu.Lock()
+		if len(l.pending) > 0 {
+			conn := l.pending[0]
+			l.pending = l.pending[1:]
+			l.mu.Unlock()
+			return conn, nil
+		}
+		l.mu.Unlock()
+		if time.Now().After(deadline) {
+			return nil, ErrAcceptAgain
+		}
+		select {
+		case <-l.k.rxWake:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close removes the listener.
+func (l *TCPListener) Close() {
+	st := l.k.tcp()
+	st.mu.Lock()
+	delete(st.listeners, l.port)
+	st.mu.Unlock()
+}
+
+// Recv blocks for the next data segment up to timeout.
+func (c *TCPConn) Recv(timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.k.pumpTCP()
+		c.mu.Lock()
+		if len(c.inbox) > 0 {
+			data := c.inbox[0]
+			c.inbox = c.inbox[1:]
+			c.mu.Unlock()
+			return data, nil
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, netsim.ErrConnClosed
+		}
+		if time.Now().After(deadline) {
+			return nil, netsim.ErrConnTimeout
+		}
+		select {
+		case <-c.k.rxWake:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Send transmits data to the peer.
+func (c *TCPConn) Send(data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return netsim.ErrConnClosed
+	}
+	c.mu.Unlock()
+	return c.k.vif.GuestSend(netsim.Packet{
+		SrcIP: c.k.vif.IP, DstIP: c.key.remoteIP,
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Proto: netsim.ProtoTCP, Payload: netsim.Segment(netsim.TCPData, data),
+	})
+}
+
+// Close tears the connection down with FIN.
+func (c *TCPConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	st := c.k.tcp()
+	st.mu.Lock()
+	delete(st.conns, c.key)
+	st.mu.Unlock()
+	return c.k.vif.GuestSend(netsim.Packet{
+		SrcIP: c.k.vif.IP, DstIP: c.key.remoteIP,
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Proto: netsim.ProtoTCP, Payload: netsim.Segment(netsim.TCPFin, nil),
+	})
+}

@@ -1,0 +1,236 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nephele/internal/netsim"
+)
+
+func TestTCPHandshakeAndEcho(t *testing.T) {
+	p, k := testEnv(t, guestCfg("tcp-0"))
+	l, err := k.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialer := netsim.NewTCPHost(p.Host, p.Bond.Deliver)
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept(2 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		req, err := conn.Recv(2 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- conn.Send([]byte("echo:" + string(req)))
+	}()
+
+	hc, err := dialer.Dial(netsim.IP{10, 0, 0, 2}, 80, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := hc.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:ping" {
+		t.Fatalf("response = %q", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRefusedWithoutListener(t *testing.T) {
+	p, _ := testEnv(t, guestCfg("tcp-1"))
+	dialer := netsim.NewTCPHost(p.Host, p.Bond.Deliver)
+	_, err := dialer.Dial(netsim.IP{10, 0, 0, 2}, 9999, 300*time.Millisecond)
+	if !errors.Is(err, netsim.ErrConnRefused) {
+		t.Fatalf("dial without listener: %v", err)
+	}
+}
+
+func TestTCPConnectionsSpreadAcrossClones(t *testing.T) {
+	// The §7.1 mechanism end to end: every clone listens on the same
+	// address and port; the bond's layer3+4 hash decides which worker a
+	// connection reaches; distinct connections spread.
+	p, k := testEnv(t, guestCfg("tcp-lb"))
+	res, err := k.Fork(3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := append([]*Kernel{k}, res.Children...)
+	listeners := make([]*TCPListener, len(workers))
+	for i, w := range workers {
+		l, err := w.ListenTCP(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+	}
+	dialer := netsim.NewTCPHost(p.Host, p.Bond.Deliver)
+
+	served := make([]int, len(workers))
+	const conns = 32
+	for c := 0; c < conns; c++ {
+		hc, err := dialer.Dial(netsim.IP{10, 0, 0, 2}, 80, 2*time.Second)
+		if err != nil {
+			t.Fatalf("conn %d: %v", c, err)
+		}
+		if err := hc.Send([]byte("GET /")); err != nil {
+			t.Fatal(err)
+		}
+		// Exactly one worker accepted the connection.
+		var conn *TCPConn
+		var who int
+		for i, l := range listeners {
+			if got, err := l.Accept(10 * time.Millisecond); err == nil {
+				conn = got
+				who = i
+				break
+			}
+		}
+		if conn == nil {
+			t.Fatalf("conn %d reached no worker", c)
+		}
+		served[who]++
+		req, err := conn.Recv(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := "HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok"
+		_ = req
+		if err := conn.Send([]byte(resp)); err != nil {
+			t.Fatal(err)
+		}
+		if data, err := hc.Recv(time.Second); err != nil || len(data) == 0 {
+			t.Fatalf("conn %d response: %q, %v", c, data, err)
+		}
+		hc.Close()
+	}
+	busy := 0
+	for _, n := range served {
+		if n > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("connections reached only %d of %d workers: %v", busy, len(workers), served)
+	}
+}
+
+func TestTCPListenErrors(t *testing.T) {
+	_, k := testEnv(t, guestCfg("tcp-err"))
+	if _, err := k.ListenTCP(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ListenTCP(80); err == nil {
+		t.Fatal("double listen succeeded")
+	}
+	// Listener close frees the port.
+	l, _ := k.tcp().listeners[80], 0
+	_ = l
+	k.tcp().mu.Lock()
+	lst := k.tcp().listeners[80]
+	k.tcp().mu.Unlock()
+	lst.Close()
+	if _, err := k.ListenTCP(80); err != nil {
+		t.Fatalf("listen after close: %v", err)
+	}
+}
+
+func TestTCPDemuxPreservesUDP(t *testing.T) {
+	// UDP datagrams drained during TCP pumping are not lost.
+	p, k := testEnv(t, guestCfg("tcp-udp"))
+	l, err := k.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Bond.Deliver(netsim.Packet{
+		SrcIP: p.Host.IPAddr(), DstIP: netsim.IP{10, 0, 0, 2},
+		SrcPort: 5353, DstPort: 53, Proto: netsim.ProtoUDP, Payload: []byte("dns?"),
+	})
+	// Pump via a failed accept.
+	l.Accept(10 * time.Millisecond)
+	pkt, ok := k.TryRecv()
+	if !ok || string(pkt.Payload) != "dns?" {
+		t.Fatalf("UDP packet lost: %v %v", pkt, ok)
+	}
+}
+
+func TestTCPConnCloseStopsPeer(t *testing.T) {
+	p, k := testEnv(t, guestCfg("tcp-fin"))
+	l, _ := k.ListenTCP(80)
+	dialer := netsim.NewTCPHost(p.Host, p.Bond.Deliver)
+	hc, err := dialer.Dial(netsim.IP{10, 0, 0, 2}, 80, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := l.Accept(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(200 * time.Millisecond); !errors.Is(err, netsim.ErrConnClosed) {
+		t.Fatalf("recv after peer close: %v", err)
+	}
+	if err := conn.Send([]byte("x")); !errors.Is(err, netsim.ErrConnClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	// Guest-side close path too.
+	hc2, _ := dialer.Dial(netsim.IP{10, 0, 0, 2}, 80, time.Second)
+	conn2, _ := l.Accept(time.Second)
+	if err := conn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hc2.Recv(200 * time.Millisecond); !errors.Is(err, netsim.ErrConnClosed) {
+		t.Fatalf("host recv after guest close: %v", err)
+	}
+}
+
+func TestTCPListenWithoutVif(t *testing.T) {
+	cfg := guestCfg("novif")
+	cfg.Vifs = nil
+	_, k := testEnv(t, cfg)
+	if _, err := k.ListenTCP(80); !errors.Is(err, ErrNoVif) {
+		t.Fatalf("listen without vif: %v", err)
+	}
+}
+
+func TestTCPManySequentialConnections(t *testing.T) {
+	p, k := testEnv(t, guestCfg("tcp-many"))
+	l, _ := k.ListenTCP(80)
+	dialer := netsim.NewTCPHost(p.Host, p.Bond.Deliver)
+	for i := 0; i < 20; i++ {
+		hc, err := dialer.Dial(netsim.IP{10, 0, 0, 2}, 80, time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conn, err := l.Accept(time.Second)
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		msg := fmt.Sprintf("req-%d", i)
+		hc.Send([]byte(msg))
+		got, err := conn.Recv(time.Second)
+		if err != nil || string(got) != msg {
+			t.Fatalf("conn %d: %q, %v", i, got, err)
+		}
+		hc.Close()
+	}
+}

@@ -1,0 +1,434 @@
+package hv
+
+import (
+	"fmt"
+
+	"nephele/internal/evtchn"
+	"nephele/internal/mem"
+	"nephele/internal/vclock"
+)
+
+// CloneOpStats reports the work done by one first-stage clone, for the
+// microbenchmark drivers.
+type CloneOpStats struct {
+	Memory mem.CloneStats
+	Events evtchn.CloneStats
+	Grants int
+	VCPUs  int
+	// FirstStage is the virtual time spent inside the hypervisor for
+	// this clone (§6.1 reports ~1 ms for a 4 MB guest).
+	FirstStage vclock.Duration
+}
+
+// DomctlSetCloning enables or disables cloning for a domain and sets the
+// maximum number of clones — the domctl extension of §5.1. A guest can be
+// cloned only if its configuration allows a non-zero maximum.
+func (h *Hypervisor) DomctlSetCloning(id DomID, enabled bool, maxClones int) error {
+	d, err := h.Domain(id)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clone.enabled = enabled
+	d.clone.maxClones = maxClones
+	return nil
+}
+
+// SetCloningEnabled toggles cloning globally; xencloned enables it when it
+// starts (§5.1).
+func (h *Hypervisor) SetCloningEnabled(on bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cloningEnabled = on
+}
+
+// CloneOpClone is the clone subcommand of the CLONEOP hypercall: it runs
+// the first stage of cloning for the calling domain (or, when invoked from
+// Dom0, for an explicitly named domain — e.g. for VM fuzzing), creating n
+// children whose IDs are returned, mirroring the array the real hypercall
+// fills in. The parent is paused until xencloned completes the second
+// stage for every child; the returned channel is closed once all
+// completions arrived and the parent has been resumed, so callers can
+// block on it for fork()-like synchronous semantics.
+//
+// copyRing selects the I/O-ring clone policy for the address-space pages
+// tagged KindIORing (network rings are copied; the console ring page is a
+// distinct kind and always fresh).
+func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bool, meter *vclock.Meter) ([]DomID, *CloneOpStats, <-chan struct{}, error) {
+	if meter == nil {
+		meter = vclock.NewMeter(nil)
+	}
+	meter.Charge(meter.Costs().Hypercall, 1)
+
+	h.mu.Lock()
+	enabled := h.cloningEnabled
+	h.mu.Unlock()
+	if !enabled {
+		return nil, nil, nil, fmt.Errorf("%w (global)", ErrCloningDisabled)
+	}
+	if caller != mem.DomID0 && caller != target {
+		return nil, nil, nil, fmt.Errorf("hv: domain %d may not clone %d", caller, target)
+	}
+	parent, err := h.Domain(target)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	parent.mu.Lock()
+	if !parent.clone.enabled || parent.clone.maxClones == 0 {
+		parent.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("%w: domain %d", ErrCloningDisabled, target)
+	}
+	if parent.clone.made+n > parent.clone.maxClones {
+		parent.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("%w: %d made, %d requested, max %d",
+			ErrCloneLimit, parent.clone.made, n, parent.clone.maxClones)
+	}
+	parent.clone.made += n
+	parent.mu.Unlock()
+
+	// The parent is paused until the completion of the second stage so
+	// its state stays consistent for all its clones (§5).
+	parent.pause()
+
+	start := meter.Elapsed()
+	children := make([]DomID, 0, n)
+	stats := &CloneOpStats{}
+	var waits []chan struct{}
+	refundBudget := func(created int) {
+		parent.mu.Lock()
+		parent.clone.made -= n - created
+		parent.mu.Unlock()
+	}
+	for i := 0; i < n; i++ {
+		child, st, err := h.cloneOne(parent, copyRing, meter)
+		if err != nil {
+			refundBudget(len(children))
+			parent.unpause()
+			return children, stats, nil, err
+		}
+		children = append(children, child.ID)
+		stats.Memory.SharedPages += st.Memory.SharedPages
+		stats.Memory.PrivateCopies += st.Memory.PrivateCopies
+		stats.Memory.PrivateFresh += st.Memory.PrivateFresh
+		stats.Memory.PTEntries += st.Memory.PTEntries
+		stats.Memory.P2MEntries += st.Memory.P2MEntries
+		stats.Memory.MetaFrames += st.Memory.MetaFrames
+		stats.Events.Cloned += st.Events.Cloned
+		stats.Events.IDCBound += st.Events.IDCBound
+		stats.Grants += st.Grants
+		stats.VCPUs += st.VCPUs
+
+		// Queue the notification for xencloned and raise VIRQ_CLONED.
+		wait, err := h.pushNotification(parent, child, meter)
+		if err != nil {
+			// The child was fully created but can never complete:
+			// tear it down and refund the unused budget.
+			children = children[:len(children)-1]
+			h.DestroyDomain(child.ID, nil)
+			refundBudget(len(children))
+			parent.unpause()
+			return children, stats, nil, err
+		}
+		waits = append(waits, wait)
+	}
+	stats.FirstStage = meter.Lap(start)
+	h.Events.RaiseVIRQ(evtchn.VIRQCloned, meter)
+
+	done := make(chan struct{})
+	go func() {
+		for _, w := range waits {
+			<-w
+		}
+		parent.unpause()
+		close(done)
+	}()
+	return children, stats, done, nil
+}
+
+// cloneOne performs the hypervisor first stage for a single child. On any
+// failure the partial child state is unwound: the family link and clone
+// budget are restored and every allocated frame is returned, so a clone
+// that dies of memory pressure leaves the parent exactly as it was.
+func (h *Hypervisor) cloneOne(parent *Domain, copyRing bool, meter *vclock.Meter) (child *Domain, st *CloneOpStats, err error) {
+	h.mu.Lock()
+	id := h.nextDom
+	h.nextDom++
+	h.mu.Unlock()
+
+	defer func() {
+		if err == nil {
+			return
+		}
+		// Unwind the family link (CloneOpClone owns the clone budget).
+		parent.mu.Lock()
+		for i, c := range parent.children {
+			if c == id {
+				parent.children = append(parent.children[:i], parent.children[i+1:]...)
+				break
+			}
+		}
+		parent.mu.Unlock()
+		// Release whatever the child accumulated.
+		if child != nil {
+			child.mu.Lock()
+			cspace := child.space
+			child.mu.Unlock()
+			if cspace != nil {
+				cspace.Release()
+			}
+		}
+		h.mu.Lock()
+		for _, mfn := range h.overhead[id] {
+			h.Memory.Free(id, mfn)
+		}
+		delete(h.overhead, id)
+		delete(h.domains, id)
+		h.mu.Unlock()
+		h.Events.RemoveDomain(id)
+		h.Grants.RemoveDomain(id)
+		child = nil
+	}()
+
+	st = &CloneOpStats{}
+
+	parent.mu.Lock()
+	child = newDomain(id, len(parent.vcpus))
+	// vCPU state: affinity and user registers are replicated; RAX
+	// differs — 0 for the parent, 1 for any child, like fork() (§5.2).
+	for i, pv := range parent.vcpus {
+		cv := child.vcpus[i]
+		*cv = *pv
+		cv.Regs.RAX = 1
+		pv.Regs.RAX = 0
+	}
+	st.VCPUs = len(parent.vcpus)
+	child.StartInfoPFN = parent.StartInfoPFN
+	child.ConsolePFN = parent.ConsolePFN
+	child.XenstorePFN = parent.XenstorePFN
+	child.parent = parent.ID
+	child.hasParent = true
+	child.clone = cloneConfig{enabled: parent.clone.enabled, maxClones: parent.clone.maxClones}
+	pspace := parent.space
+	parent.children = append(parent.children, id)
+	parent.mu.Unlock()
+
+	if meter != nil {
+		meter.Charge(meter.Costs().DomainCreate, 1)
+		meter.Charge(meter.Costs().VCPUClone, st.VCPUs)
+	}
+
+	// Memory: COW-share regular pages, duplicate/rewrite private ones,
+	// rebuild page table and p2m (§5.2).
+	cspace, mst, err := pspace.Clone(id, copyRing, meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Memory = mst
+	child.mu.Lock()
+	child.space = cspace
+	child.mu.Unlock()
+
+	ov, err := h.Memory.AllocN(id, h.cfg.PerDomainOverheadFrames, meter)
+	if err != nil {
+		cspace.Release()
+		return nil, nil, err
+	}
+
+	// Children start paused; xencloned resumes them after stage two.
+	child.pause()
+
+	h.mu.Lock()
+	h.domains[id] = child
+	h.overhead[id] = ov
+	h.mu.Unlock()
+
+	// Event channels and grant table.
+	h.Events.AddDomain(id, nil)
+	h.Grants.AddDomain(id)
+	est, err := h.Events.CloneDomain(parent.ID, id, meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Events = est
+	xlate := func(m mem.MFN) mem.MFN { return m } // shared frames keep their MFN
+	gst, err := h.Grants.CloneDomain(parent.ID, id, xlate, meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Grants = gst.Cloned
+	return child, st, nil
+}
+
+// pushNotification appends a clone notification, returning the channel the
+// first stage waits on. A full ring back-pressures cloning by failing.
+func (h *Hypervisor) pushNotification(parent, child *Domain, meter *vclock.Meter) (chan struct{}, error) {
+	parentSI, _ := parent.Space().MFNOf(parent.StartInfoPFN)
+	childSI, _ := child.Space().MFNOf(child.StartInfoPFN)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.notifyRing) >= h.notifyCap {
+		return nil, ErrRingFull
+	}
+	h.notifyRing = append(h.notifyRing, CloneNotification{
+		Parent:        parent.ID,
+		Child:         child.ID,
+		ParentSIFrame: parentSI,
+		ChildSIFrame:  childSI,
+	})
+	wait := make(chan struct{})
+	h.completionWaits[child.ID] = wait
+	if meter != nil {
+		meter.Charge(meter.Costs().CloneRingPush, 1)
+	}
+	return wait, nil
+}
+
+// PopNotifications drains the clone-notification ring; xencloned calls
+// this when VIRQ_CLONED fires.
+func (h *Hypervisor) PopNotifications() []CloneNotification {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := h.notifyRing
+	h.notifyRing = nil
+	return out
+}
+
+// PendingNotifications reports the ring depth without draining.
+func (h *Hypervisor) PendingNotifications() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.notifyRing)
+}
+
+// CloneOpCompletion is the clone_completion subcommand: xencloned reports
+// that all userspace operations for child are done (§5.1). Completion
+// events arrive asynchronously and out of order across guests.
+func (h *Hypervisor) CloneOpCompletion(child DomID, resumeChild bool, meter *vclock.Meter) error {
+	if meter != nil {
+		meter.Charge(meter.Costs().Hypercall, 1)
+	}
+	h.mu.Lock()
+	wait := h.completionWaits[child]
+	delete(h.completionWaits, child)
+	h.mu.Unlock()
+	if wait == nil {
+		return fmt.Errorf("hv: no pending clone completion for domain %d", child)
+	}
+	if resumeChild {
+		if d, err := h.Domain(child); err == nil {
+			d.unpause()
+		}
+	}
+	close(wait)
+	return nil
+}
+
+// CloneOpCOW is the clone_cow subcommand added for KFX fuzzing (§7.2): it
+// triggers COW explicitly for the given guest pages so breakpoints can be
+// inserted in the clone's code regions without touching the family-shared
+// frames.
+func (h *Hypervisor) CloneOpCOW(id DomID, pfns []mem.PFN, meter *vclock.Meter) error {
+	if meter != nil {
+		meter.Charge(meter.Costs().Hypercall, 1)
+	}
+	d, err := h.Domain(id)
+	if err != nil {
+		return err
+	}
+	for _, pfn := range pfns {
+		if err := d.Space().TouchCOW(pfn, meter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloneOpReset is the clone_reset subcommand (§7.2): it restores the
+// clone's dirtied pages to the family-shared state so a fuzzing iteration
+// starts from the parent's memory image. Pages that were COW-broken are
+// re-shared with the parent's current frames. It returns the number of
+// pages restored (the paper reports ~3 dirty pages per iteration for
+// Unikraft vs ~8 for a Linux guest).
+func (h *Hypervisor) CloneOpReset(child DomID, meter *vclock.Meter) (int, error) {
+	if meter != nil {
+		meter.Charge(meter.Costs().Hypercall, 1)
+	}
+	d, err := h.Domain(child)
+	if err != nil {
+		return 0, err
+	}
+	parentID, has := d.Parent()
+	if !has {
+		return 0, fmt.Errorf("hv: domain %d is not a clone", child)
+	}
+	p, err := h.Domain(parentID)
+	if err != nil {
+		return 0, err
+	}
+	return resetSpace(d.Space(), p.Space(), h.Memory, meter)
+}
+
+// resetSpace re-points every privately-dirtied regular page of child back
+// at the parent's frame (re-sharing it) and frees the private copy. The
+// working set is the child's recorded COW-fault list, so reset cost is
+// proportional to dirtied pages, as on real Xen where the dirty log drives
+// the restore.
+func resetSpace(child, parent *mem.Space, machine *mem.Memory, meter *vclock.Meter) (int, error) {
+	restored := 0
+	reShared := false
+	for _, pfn := range child.TakeDirty() {
+		k, err := child.Kind(pfn)
+		if err != nil || k != mem.KindRegular {
+			continue
+		}
+		cm, err := child.MFNOf(pfn)
+		if err != nil {
+			continue
+		}
+		owner, err := machine.Owner(cm)
+		if err != nil {
+			continue
+		}
+		if owner != child.Dom() {
+			continue // still shared; clean
+		}
+		// Dirty page: drop the private copy and re-attach to the
+		// parent's current frame for that pfn, re-sharing it if the
+		// parent holds it privately (e.g. the parent faulted too).
+		pm, err := parent.MFNOf(pfn)
+		if err != nil {
+			return restored, err
+		}
+		powner, err := machine.Owner(pm)
+		if err != nil {
+			return restored, err
+		}
+		switch powner {
+		case mem.DomIDCOW:
+			if err := machine.AddSharer(pm, 1); err != nil {
+				return restored, err
+			}
+		case parent.Dom():
+			if err := machine.Share(parent.Dom(), pm, 2, meter); err != nil {
+				return restored, err
+			}
+			reShared = true
+		default:
+			return restored, fmt.Errorf("hv: clone_reset: parent pfn %d frame owned by %d", pfn, powner)
+		}
+		if err := child.Remap(pfn, pm, true); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	if reShared {
+		// Frames newly moved to dom_cow must be COW-protected in the
+		// parent as well.
+		parent.MarkAllCOW()
+	}
+	if meter != nil {
+		meter.Charge(meter.Costs().CloneResetPage, restored)
+	}
+	return restored, nil
+}

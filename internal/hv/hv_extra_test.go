@@ -1,0 +1,159 @@
+package hv
+
+import (
+	"nephele/internal/evtchn"
+	"sync"
+	"testing"
+
+	"nephele/internal/mem"
+	"nephele/internal/vclock"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MemoryBytes != 12<<30 {
+		t.Fatalf("MemoryBytes = %d, want 12 GiB (the paper's split)", cfg.MemoryBytes)
+	}
+	h := New(cfg)
+	if h.FreeBytes() != cfg.MemoryBytes {
+		t.Fatalf("FreeBytes = %d", h.FreeBytes())
+	}
+}
+
+func TestDomainsListing(t *testing.T) {
+	h := newHV(t)
+	d1, _ := h.CreateDomain(16, 1, nil)
+	d2, _ := h.CreateDomain(16, 1, nil)
+	ids := h.Domains()
+	want := map[DomID]bool{mem.DomID0: true, d1.ID: true, d2.ID: true}
+	if len(ids) != 3 {
+		t.Fatalf("Domains = %v", ids)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("unexpected domain %d in %v", id, ids)
+		}
+	}
+}
+
+func TestPendingNotifications(t *testing.T) {
+	h := newHV(t)
+	h.SetCloningEnabled(true)
+	p, _ := h.CreateDomain(16, 1, nil)
+	h.DomctlSetCloning(p.ID, true, 4)
+	if h.PendingNotifications() != 0 {
+		t.Fatal("notifications pending before any clone")
+	}
+	kids, _, _, err := h.CloneOpClone(p.ID, p.ID, 2, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.PendingNotifications() != 2 {
+		t.Fatalf("pending = %d, want 2", h.PendingNotifications())
+	}
+	h.PopNotifications()
+	if h.PendingNotifications() != 0 {
+		t.Fatal("pop did not drain")
+	}
+	for _, k := range kids {
+		h.CloneOpCompletion(k, true, nil)
+	}
+}
+
+func TestCloneOpCOWErrors(t *testing.T) {
+	h := newHV(t)
+	if err := h.CloneOpCOW(DomID(77), []mem.PFN{0}, nil); err == nil {
+		t.Fatal("clone_cow on unknown domain succeeded")
+	}
+	d, _ := h.CreateDomain(16, 1, nil)
+	if err := h.CloneOpCOW(d.ID, []mem.PFN{999}, nil); err == nil {
+		t.Fatal("clone_cow on bad pfn succeeded")
+	}
+}
+
+func TestCloneOpCompletionUnknownChild(t *testing.T) {
+	h := newHV(t)
+	if err := h.CloneOpCompletion(DomID(123), true, nil); err == nil {
+		t.Fatal("completion for unknown child succeeded")
+	}
+}
+
+func TestConcurrentCloneOpsSerializePerParent(t *testing.T) {
+	// Multiple goroutines racing CloneOpClone + completion on the same
+	// parent must stay consistent (the ring and family lists are
+	// shared).
+	cfg := testConfig()
+	cfg.MemoryBytes = 1 << 30
+	cfg.NotifyRingSlots = 64
+	h := New(cfg)
+	h.SetCloningEnabled(true)
+	p, _ := h.CreateDomain(64, 1, nil)
+	h.DomctlSetCloning(p.ID, true, 64)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				kids, _, done, err := h.CloneOpClone(p.ID, p.ID, 1, true, vclock.NewMeter(nil))
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Serve completions for whatever is pending (any
+				// goroutine may complete any child, like a shared
+				// daemon).
+				for _, n := range h.PopNotifications() {
+					h.CloneOpCompletion(n.Child, true, nil)
+				}
+				_ = kids
+				<-done
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := len(p.Children()); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+	if p.Paused() {
+		t.Fatal("parent left paused")
+	}
+}
+
+func TestSetEventHandler(t *testing.T) {
+	h := newHV(t)
+	d, _ := h.CreateDomain(16, 1, nil)
+	fired := make(chan evtchn.Port, 1)
+	if err := h.SetEventHandler(d.ID, func(p evtchn.Port) { fired <- p }); err != nil {
+		t.Fatal(err)
+	}
+	// An event arriving afterwards reaches the installed handler.
+	up, err := h.Events.AllocUnbound(d.ID, mem.DomID0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := h.Events.BindInterdomain(mem.DomID0, d.ID, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Events.Send(mem.DomID0, bp); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-fired:
+		if p != up {
+			t.Fatalf("handler got port %d, want %d", p, up)
+		}
+	default:
+		t.Fatal("handler not invoked")
+	}
+	if err := h.SetEventHandler(DomID(99), nil); err == nil {
+		t.Fatal("SetEventHandler on unknown domain succeeded")
+	}
+}

@@ -1,0 +1,213 @@
+package kvm
+
+import (
+	"errors"
+	"testing"
+
+	"nephele/internal/netsim"
+	"nephele/internal/vclock"
+)
+
+func newHost(t *testing.T) *Host {
+	t.Helper()
+	h := NewHost(256 << 20)
+	h.AttachDaemon()
+	return h
+}
+
+func createVM(t *testing.T, h *Host, name string) *VM {
+	t.Helper()
+	vm, err := h.CreateVM(name, 1024, netsim.IP{192, 168, 122, 10}, vclock.NewMeter(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestCreateAndDestroyVM(t *testing.T) {
+	h := newHost(t)
+	free0 := h.FreeBytes()
+	vm := createVM(t, h, "guest")
+	if h.VMCount() != 1 {
+		t.Fatalf("VMCount = %d", h.VMCount())
+	}
+	if len(vm.Memslots()) != 1 || vm.Memslots()[0].Pages != 1024 {
+		t.Fatalf("memslots = %+v", vm.Memslots())
+	}
+	if h.Bridge().Ports() != 1 {
+		t.Fatal("tap not attached")
+	}
+	if err := h.DestroyVM(vm.ID); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeBytes() != free0 {
+		t.Fatal("destroy leaked memory")
+	}
+	if _, err := h.VM(vm.ID); !errors.Is(err, ErrNoVM) {
+		t.Fatalf("lookup after destroy: %v", err)
+	}
+}
+
+func TestKVMCloneRequiresCapability(t *testing.T) {
+	h := newHost(t)
+	vm := createVM(t, h, "gated")
+	if _, err := h.KVMClone(vm.ID, nil); !errors.Is(err, ErrCloneCapUnset) {
+		t.Fatalf("clone without cap: %v", err)
+	}
+	if err := h.EnableCloneCap(vm.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Clone(vm.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Clone(vm.ID, nil); !errors.Is(err, ErrCloneLimit) {
+		t.Fatalf("clone beyond limit: %v", err)
+	}
+}
+
+func TestCloneRequiresDaemon(t *testing.T) {
+	h := NewHost(64 << 20) // no daemon attached
+	vm, err := h.CreateVM("lonely", 64, netsim.IP{10, 0, 0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnableCloneCap(vm.ID, 4)
+	if _, err := h.Clone(vm.ID, nil); !errors.Is(err, ErrDaemonNotReady) {
+		t.Fatalf("clone without kvmcloned: %v", err)
+	}
+}
+
+func TestCloneCOWSemantics(t *testing.T) {
+	h := newHost(t)
+	vm := createVM(t, h, "cow")
+	h.EnableCloneCap(vm.ID, 8)
+	vm.Space().Write(0, 0, []byte("parent data"), nil)
+
+	meter := vclock.NewMeter(nil)
+	child, err := h.Clone(vm.ID, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The child sees the parent's memory through KSM-style sharing.
+	buf := make([]byte, 11)
+	child.Space().Read(0, 0, buf)
+	if string(buf) != "parent data" {
+		t.Fatalf("child read %q", buf)
+	}
+	// Writes are isolated.
+	child.Space().Write(0, 0, []byte("child wrote"), nil)
+	vm.Space().Read(0, 0, buf)
+	if string(buf) != "parent data" {
+		t.Fatalf("parent sees child write: %q", buf)
+	}
+	// Family tracking.
+	if p, ok := child.IsClone(); !ok || p != vm.ID {
+		t.Fatal("clone lineage missing")
+	}
+	if kids := vm.Children(); len(kids) != 1 || kids[0] != child.ID {
+		t.Fatalf("children = %v", kids)
+	}
+	// Memslot layout replicated.
+	if len(child.Memslots()) != 1 || child.Memslots()[0].Pages != 1024 {
+		t.Fatalf("child memslots = %+v", child.Memslots())
+	}
+	if meter.Elapsed() <= 0 {
+		t.Fatal("clone cost not charged")
+	}
+}
+
+func TestCloneDeviceIdentityAndDataPath(t *testing.T) {
+	h := newHost(t)
+	vm := createVM(t, h, "net")
+	h.EnableCloneCap(vm.ID, 4)
+	// In-flight RX at clone time.
+	vm.Net().Deliver(netsim.Packet{SrcPort: 1, Payload: []byte("inflight")})
+
+	child, err := h.Clone(vm.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Net() == nil {
+		t.Fatal("child virtio-net missing")
+	}
+	if child.Net().MAC != vm.Net().MAC || child.Net().IP != vm.Net().IP {
+		t.Fatal("clone device identity differs")
+	}
+	// Virtqueue copied: the child sees the in-flight frame too.
+	if data, ok := child.Net().Recv(); !ok || string(data) != "inflight" {
+		t.Fatalf("child RX = %q, %v", data, ok)
+	}
+	if data, ok := vm.Net().Recv(); !ok || string(data) != "inflight" {
+		t.Fatalf("parent RX = %q, %v", data, ok)
+	}
+	// Both taps live on the bridge.
+	if h.Bridge().Ports() != 2 {
+		t.Fatalf("bridge ports = %d", h.Bridge().Ports())
+	}
+	// Child TX reaches the host switch.
+	sink := netsim.NewHost(netsim.MAC{0xaa}, netsim.IP{192, 168, 122, 1})
+	h.Bridge().Attach(sink)
+	if err := child.Net().Send(netsim.Packet{DstMAC: sink.HWAddr(), Payload: []byte("ping")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Received(); len(got) != 1 || string(got[0].Payload) != "ping" {
+		t.Fatalf("sink received %v", got)
+	}
+}
+
+func TestKVMCloneOfClone(t *testing.T) {
+	h := newHost(t)
+	vm := createVM(t, h, "root")
+	h.EnableCloneCap(vm.ID, 4)
+	c1, err := h.Clone(vm.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnableCloneCap(c1.ID, 4)
+	c2, err := h.Clone(c1.ID, nil)
+	if err != nil {
+		t.Fatalf("clone of clone: %v", err)
+	}
+	if p, ok := c2.IsClone(); !ok || p != c1.ID {
+		t.Fatal("grandchild lineage wrong")
+	}
+	if h.VMCount() != 3 {
+		t.Fatalf("VMCount = %d", h.VMCount())
+	}
+}
+
+func TestDaemonServedCount(t *testing.T) {
+	h := NewHost(256 << 20)
+	d := h.AttachDaemon()
+	vm, _ := h.CreateVM("x", 256, netsim.IP{10, 0, 0, 2}, nil)
+	h.EnableCloneCap(vm.ID, 8)
+	for i := 0; i < 3; i++ {
+		if _, err := h.Clone(vm.ID, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Served() != 3 {
+		t.Fatalf("Served = %d", d.Served())
+	}
+}
+
+func TestKVMCloneCheaperThanCreate(t *testing.T) {
+	// The portability claim only matters if the clone advantage carries
+	// over: cloning must beat creating a fresh VM on KVM too.
+	h := newHost(t)
+	vm := createVM(t, h, "fast")
+	h.EnableCloneCap(vm.ID, 4)
+
+	createMeter := vclock.NewMeter(nil)
+	if _, err := h.CreateVM("fresh", 1024, netsim.IP{10, 0, 0, 3}, createMeter); err != nil {
+		t.Fatal(err)
+	}
+	cloneMeter := vclock.NewMeter(nil)
+	if _, err := h.Clone(vm.ID, cloneMeter); err != nil {
+		t.Fatal(err)
+	}
+	if cloneMeter.Elapsed() >= createMeter.Elapsed() {
+		t.Fatalf("KVM clone (%v) not cheaper than create (%v)",
+			cloneMeter.Elapsed(), createMeter.Elapsed())
+	}
+}

@@ -1,0 +1,428 @@
+// Package mem simulates the machine memory of one physical host as managed
+// by the Xen hypervisor: a pool of 4 KiB frames with per-frame ownership and
+// reference counting, copy-on-write sharing through the dom_cow
+// pseudo-domain, per-domain p2m maps, and direct-paging page-table frame
+// accounting. It is the substrate under both unikernel cloning
+// (internal/hv) and the Linux process baseline (internal/proc).
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nephele/internal/vclock"
+)
+
+// PageSize is the machine frame size in bytes.
+const PageSize = 4096
+
+// PagesPerPTFrame is the number of mappings one page-table frame covers
+// (512 8-byte entries, as on x86-64).
+const PagesPerPTFrame = 512
+
+// DomID identifies a domain as the owner of frames. The mem package does
+// not interpret IDs beyond the reserved values below.
+type DomID uint32
+
+// Reserved domain IDs, mirroring Xen's.
+const (
+	DomIDInvalid DomID = 0x7FF4
+	// DomIDCOW is the pseudo-domain that owns shared (copy-on-write)
+	// frames, Xen's dom_cow.
+	DomIDCOW DomID = 0x7FF2
+	// DomIDChild is the wildcard used by grant references and event
+	// channels to designate not-yet-existing clone children (§5.1).
+	DomIDChild DomID = 0x7FF1
+	// DomID0 is the host domain.
+	DomID0 DomID = 0
+)
+
+// MFN is a machine frame number.
+type MFN uint64
+
+// PFN is a guest-physical (pseudo-physical) frame number.
+type PFN uint64
+
+// InvalidMFN marks an unmapped p2m slot.
+const InvalidMFN = MFN(^uint64(0))
+
+// Errors returned by the memory subsystem.
+var (
+	ErrOutOfMemory  = errors.New("mem: out of machine memory")
+	ErrBadFrame     = errors.New("mem: bad frame number")
+	ErrNotOwner     = errors.New("mem: domain does not own frame")
+	ErrNotShared    = errors.New("mem: frame is not shared")
+	ErrBadPFN       = errors.New("mem: pfn not populated")
+	ErrReadOnly     = errors.New("mem: write to read-only mapping without fault handling")
+	ErrBadOffset    = errors.New("mem: access crosses page boundary")
+	ErrDoubleFree   = errors.New("mem: frame already free")
+	ErrStillShared  = errors.New("mem: frame still has sharers")
+	ErrSpaceRetired = errors.New("mem: address space was released")
+)
+
+// frame is one machine page. Data is allocated lazily: nil means the frame
+// reads as zeroes and has never been written, which keeps host memory usage
+// proportional to pages actually touched even when thousands of simulated
+// domains exist.
+type frame struct {
+	owner    DomID
+	refcount int32
+	inUse    bool
+	data     []byte
+}
+
+// Memory is the machine memory pool. All methods are safe for concurrent
+// use by multiple simulated domains.
+type Memory struct {
+	mu        sync.Mutex
+	frames    []frame
+	freeList  []MFN
+	usedByDom map[DomID]int // frames charged to each owner (dom_cow pages charge dom_cow)
+	sharedCnt int           // frames currently owned by dom_cow
+}
+
+// New creates a machine memory pool of totalBytes (rounded down to whole
+// frames).
+func New(totalBytes uint64) *Memory {
+	n := totalBytes / PageSize
+	m := &Memory{
+		frames:    make([]frame, n),
+		freeList:  make([]MFN, 0, n),
+		usedByDom: make(map[DomID]int),
+	}
+	// Populate the free list high-to-low so allocation order is
+	// deterministic and low MFNs go out first.
+	for i := int64(n) - 1; i >= 0; i-- {
+		m.freeList = append(m.freeList, MFN(i))
+	}
+	return m
+}
+
+// TotalFrames reports the machine memory size in frames.
+func (m *Memory) TotalFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.frames)
+}
+
+// FreeFrames reports the number of unallocated frames.
+func (m *Memory) FreeFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.freeList)
+}
+
+// UsedBy reports the number of frames currently owned by dom. Frames shared
+// through dom_cow are charged to DomIDCOW.
+func (m *Memory) UsedBy(dom DomID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usedByDom[dom]
+}
+
+// SharedFrames reports the number of frames owned by dom_cow.
+func (m *Memory) SharedFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sharedCnt
+}
+
+// Alloc allocates one frame for dom, charging the meter.
+func (m *Memory) Alloc(dom DomID, meter *vclock.Meter) (MFN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocLocked(dom, meter)
+}
+
+// AllocN allocates n frames for dom. On failure nothing is allocated.
+func (m *Memory) AllocN(dom DomID, n int, meter *vclock.Meter) ([]MFN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > len(m.freeList) {
+		return nil, fmt.Errorf("%w: want %d frames, %d free", ErrOutOfMemory, n, len(m.freeList))
+	}
+	out := make([]MFN, 0, n)
+	for i := 0; i < n; i++ {
+		mfn, err := m.allocLocked(dom, meter)
+		if err != nil {
+			// Cannot happen given the check above, but unwind anyway.
+			for _, f := range out {
+				m.freeLocked(f)
+			}
+			return nil, err
+		}
+		out = append(out, mfn)
+	}
+	return out, nil
+}
+
+func (m *Memory) allocLocked(dom DomID, meter *vclock.Meter) (MFN, error) {
+	if len(m.freeList) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	mfn := m.freeList[len(m.freeList)-1]
+	m.freeList = m.freeList[:len(m.freeList)-1]
+	f := &m.frames[mfn]
+	f.owner = dom
+	f.refcount = 1
+	f.inUse = true
+	f.data = nil
+	m.usedByDom[dom]++
+	if meter != nil {
+		meter.Charge(meter.Costs().PageAlloc, 1)
+	}
+	return mfn, nil
+}
+
+// Free releases a frame owned by dom. Frames owned by dom_cow must be
+// released by dropping sharer references (DropShared) instead.
+func (m *Memory) Free(dom DomID, mfn MFN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return err
+	}
+	if f.owner != dom {
+		return fmt.Errorf("%w: frame %d owned by %d, freed by %d", ErrNotOwner, mfn, f.owner, dom)
+	}
+	if f.owner == DomIDCOW {
+		return fmt.Errorf("%w: frame %d", ErrStillShared, mfn)
+	}
+	m.freeLocked(mfn)
+	return nil
+}
+
+func (m *Memory) freeLocked(mfn MFN) {
+	f := &m.frames[mfn]
+	m.usedByDom[f.owner]--
+	if m.usedByDom[f.owner] == 0 {
+		delete(m.usedByDom, f.owner)
+	}
+	f.inUse = false
+	f.data = nil
+	f.refcount = 0
+	f.owner = DomIDInvalid
+	m.freeList = append(m.freeList, mfn)
+}
+
+func (m *Memory) frameLocked(mfn MFN) (*frame, error) {
+	if int(mfn) >= len(m.frames) {
+		return nil, fmt.Errorf("%w: %d", ErrBadFrame, mfn)
+	}
+	f := &m.frames[mfn]
+	if !f.inUse {
+		return nil, fmt.Errorf("%w: %d", ErrDoubleFree, mfn)
+	}
+	return f, nil
+}
+
+// Owner reports the owner of a frame.
+func (m *Memory) Owner(mfn MFN) (DomID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return DomIDInvalid, err
+	}
+	return f.owner, nil
+}
+
+// Refcount reports the sharer count of a frame.
+func (m *Memory) Refcount(mfn MFN) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return 0, err
+	}
+	return int(f.refcount), nil
+}
+
+// Share transfers ownership of a frame from its current owner to dom_cow
+// and sets its reference count to refs sharers (parent plus children). This
+// is the page-sharing mechanism Nephele extends from Snowflock (§5.2):
+// subsequent writers fault and receive private copies.
+func (m *Memory) Share(dom DomID, mfn MFN, refs int, meter *vclock.Meter) error {
+	if refs < 1 {
+		return fmt.Errorf("mem: share with %d refs", refs)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return err
+	}
+	if f.owner == DomIDCOW {
+		// Already shared: the new family members just add references.
+		f.refcount += int32(refs - 1)
+		return nil
+	}
+	if f.owner != dom {
+		return fmt.Errorf("%w: frame %d owned by %d, shared by %d", ErrNotOwner, mfn, f.owner, dom)
+	}
+	m.usedByDom[f.owner]--
+	if m.usedByDom[f.owner] == 0 {
+		delete(m.usedByDom, f.owner)
+	}
+	f.owner = DomIDCOW
+	f.refcount = int32(refs)
+	m.usedByDom[DomIDCOW]++
+	m.sharedCnt++
+	if meter != nil {
+		meter.Charge(meter.Costs().PageShare, 1)
+	}
+	return nil
+}
+
+// AddSharer increments the reference count of an already-shared frame
+// (used when a clone becomes the parent of further clones).
+func (m *Memory) AddSharer(mfn MFN, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return err
+	}
+	if f.owner != DomIDCOW {
+		return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
+	}
+	f.refcount += int32(n)
+	return nil
+}
+
+// CopyOnWrite resolves a write fault by dom on a shared frame. If the frame
+// still has other sharers, a fresh private frame is allocated, the contents
+// copied, and the sharer count dropped. If dom is the last sharer
+// (refcount 1), ownership is transferred from dom_cow directly to the
+// faulting domain — which may differ from the original owner (§5.2) — with
+// no copy. Returns the MFN the domain should map afterwards.
+func (m *Memory) CopyOnWrite(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return 0, err
+	}
+	if f.owner != DomIDCOW {
+		return 0, fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
+	}
+	if f.refcount == 1 {
+		// Last sharer: transfer ownership back without copying.
+		m.usedByDom[DomIDCOW]--
+		if m.usedByDom[DomIDCOW] == 0 {
+			delete(m.usedByDom, DomIDCOW)
+		}
+		m.sharedCnt--
+		f.owner = dom
+		m.usedByDom[dom]++
+		if meter != nil {
+			meter.Charge(meter.Costs().PageUnshare, 1)
+		}
+		return mfn, nil
+	}
+	newMFN, err := m.allocLocked(dom, meter)
+	if err != nil {
+		return 0, err
+	}
+	nf := &m.frames[newMFN]
+	if f.data != nil {
+		nf.data = make([]byte, PageSize)
+		copy(nf.data, f.data)
+	}
+	f.refcount--
+	if meter != nil {
+		meter.Charge(meter.Costs().PageUnshare, 1)
+	}
+	return newMFN, nil
+}
+
+// DropShared releases one sharer reference on a shared frame without
+// copying (domain teardown). When the last reference drops, the frame is
+// freed.
+func (m *Memory) DropShared(mfn MFN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return err
+	}
+	if f.owner != DomIDCOW {
+		return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
+	}
+	f.refcount--
+	if f.refcount == 0 {
+		m.sharedCnt--
+		m.freeLocked(mfn)
+	}
+	return nil
+}
+
+// Read copies the contents at (mfn, off) into buf. Reading a never-written
+// frame yields zeroes.
+func (m *Memory) Read(mfn MFN, off int, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(buf) > PageSize {
+		return ErrBadOffset
+	}
+	if f.data == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, f.data[off:])
+	return nil
+}
+
+// Write stores buf at (mfn, off). Write does not check ownership or
+// sharing; address spaces enforce COW before calling it.
+func (m *Memory) Write(mfn MFN, off int, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.frameLocked(mfn)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(buf) > PageSize {
+		return ErrBadOffset
+	}
+	if f.data == nil {
+		f.data = make([]byte, PageSize)
+	}
+	copy(f.data[off:], buf)
+	return nil
+}
+
+// CopyFrame copies the full contents of src into dst, charging one page
+// copy.
+func (m *Memory) CopyFrame(dst, src MFN, meter *vclock.Meter) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs, err := m.frameLocked(src)
+	if err != nil {
+		return err
+	}
+	fd, err := m.frameLocked(dst)
+	if err != nil {
+		return err
+	}
+	if fs.data == nil {
+		fd.data = nil
+	} else {
+		if fd.data == nil {
+			fd.data = make([]byte, PageSize)
+		}
+		copy(fd.data, fs.data)
+	}
+	if meter != nil {
+		meter.Charge(meter.Costs().PageCopy, 1)
+	}
+	return nil
+}

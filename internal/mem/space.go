@@ -1,0 +1,551 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"nephele/internal/vclock"
+)
+
+// PageKind classifies a guest page for cloning purposes. Most pages are
+// regular and become COW-shared; private kinds are duplicated or rewritten
+// for each child (§4.1, §5.2).
+type PageKind uint8
+
+const (
+	// KindRegular pages are shared copy-on-write between family members.
+	KindRegular PageKind = iota
+	// KindPageTable pages hold the guest page table; prior work shows
+	// cloning is dominated by copying these when the VM holds tens of
+	// megabytes or more. Always duplicated and rewritten.
+	KindPageTable
+	// KindStartInfo is the Xen start_info directory page. Rewritten for
+	// each child (it references the parent's private frames).
+	KindStartInfo
+	// KindConsole is the console ring page: duplicated but NOT copied —
+	// the child console starts empty so parent output is not replayed
+	// into the child log (§4.2).
+	KindConsole
+	// KindXenstore is the Xenstore interface ring page: duplicated fresh.
+	KindXenstore
+	// KindIORing pages back split-driver shared rings. The clone policy
+	// is per device type; by default they are duplicated with contents
+	// copied (network rings), and device code may ask for fresh frames
+	// instead (console rings).
+	KindIORing
+	// KindP2M pages hold the physical-to-machine map, rewritten with the
+	// child's new machine frame numbers.
+	KindP2M
+	// KindIDC pages back inter-domain communication regions (§5.2.2):
+	// they are granted to DOMID_CHILD and, on clone, shared WITHOUT
+	// write protection — parent and children genuinely share them, like
+	// a POSIX shared-memory segment, so pipes and socket pairs work.
+	KindIDC
+)
+
+func (k PageKind) String() string {
+	switch k {
+	case KindRegular:
+		return "regular"
+	case KindPageTable:
+		return "pagetable"
+	case KindStartInfo:
+		return "startinfo"
+	case KindConsole:
+		return "console"
+	case KindXenstore:
+		return "xenstore"
+	case KindIORing:
+		return "ioring"
+	case KindP2M:
+		return "p2m"
+	case KindIDC:
+		return "idc"
+	default:
+		return fmt.Sprintf("PageKind(%d)", uint8(k))
+	}
+}
+
+// pte is the per-page mapping state of an address space.
+type pte struct {
+	mfn      MFN
+	present  bool
+	writable bool
+	cow      bool // write-protected because the frame is family-shared
+	kind     PageKind
+}
+
+// Space is one domain's guest-physical address space under direct paging:
+// a p2m map from PFNs to machine frames plus per-page access state. It also
+// accounts for the page-table frames and p2m frames that make the mapping
+// itself, since duplicating those dominates clone time.
+type Space struct {
+	mu   sync.Mutex
+	mem  *Memory
+	dom  DomID
+	ptes []pte
+	// ptFrames and p2mFrames are the metadata frames backing the page
+	// table and the p2m map. They are private memory: never shared.
+	ptFrames  []MFN
+	p2mFrames []MFN
+	retired   bool
+
+	// faults counts resolved COW write faults, for experiment stats.
+	faults int
+	// dirty records the pfns privatized by COW faults since the last
+	// TakeDirty, so clone_reset restores exactly the dirtied set instead
+	// of scanning the whole space.
+	dirty []PFN
+}
+
+// PTFrameCount returns the number of page-table frames needed to map n
+// pages (one frame per 512 mappings per level; we account a two-level
+// overhead factor like x86-64 with 4 KiB pages dominated by L1).
+func PTFrameCount(n int) int {
+	if n == 0 {
+		return 1
+	}
+	l1 := (n + PagesPerPTFrame - 1) / PagesPerPTFrame
+	l2 := (l1 + PagesPerPTFrame - 1) / PagesPerPTFrame
+	return l1 + l2 + 1 // + root
+}
+
+// P2MFrameCount returns the number of frames holding a p2m map for n pages
+// (8 bytes per entry).
+func P2MFrameCount(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return (n*8 + PageSize - 1) / PageSize
+}
+
+// NewSpace creates an address space for dom with capacity pages guest
+// frames, allocating and populating all of them (unikernels map their whole
+// memory at boot), plus the page-table and p2m frames.
+func NewSpace(m *Memory, dom DomID, pages int, meter *vclock.Meter) (*Space, error) {
+	s := &Space{mem: m, dom: dom, ptes: make([]pte, pages)}
+	mfns, err := m.AllocN(dom, pages, meter)
+	if err != nil {
+		return nil, err
+	}
+	for i, mfn := range mfns {
+		s.ptes[i] = pte{mfn: mfn, present: true, writable: true, kind: KindRegular}
+	}
+	if s.ptFrames, err = m.AllocN(dom, PTFrameCount(pages), meter); err != nil {
+		s.release()
+		return nil, err
+	}
+	if s.p2mFrames, err = m.AllocN(dom, P2MFrameCount(pages), meter); err != nil {
+		s.release()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dom returns the owning domain ID.
+func (s *Space) Dom() DomID { return s.dom }
+
+// Pages returns the number of guest pages in the space.
+func (s *Space) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ptes)
+}
+
+// MetadataFrames returns how many private page-table plus p2m frames back
+// this space.
+func (s *Space) MetadataFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ptFrames) + len(s.p2mFrames)
+}
+
+// Faults returns the number of COW write faults resolved so far.
+func (s *Space) Faults() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// SetKind tags a page so the clone logic treats it as private memory.
+func (s *Space) SetKind(pfn PFN, kind PageKind) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		return err
+	}
+	p.kind = kind
+	return nil
+}
+
+// Kind reports a page's classification.
+func (s *Space) Kind(pfn PFN) (PageKind, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		return 0, err
+	}
+	return p.kind, nil
+}
+
+// SetWritable changes a page's writability (text pages are mapped
+// read-only at guest boot).
+func (s *Space) SetWritable(pfn PFN, w bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		return err
+	}
+	p.writable = w
+	return nil
+}
+
+// MFNOf translates a guest pfn to its machine frame.
+func (s *Space) MFNOf(pfn PFN) (MFN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		return 0, err
+	}
+	return p.mfn, nil
+}
+
+// IsCOW reports whether the page is currently write-protected for sharing.
+func (s *Space) IsCOW(pfn PFN) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		return false, err
+	}
+	return p.cow, nil
+}
+
+func (s *Space) pteLocked(pfn PFN) (*pte, error) {
+	if s.retired {
+		return nil, ErrSpaceRetired
+	}
+	if int(pfn) >= len(s.ptes) {
+		return nil, fmt.Errorf("%w: pfn %d of %d", ErrBadPFN, pfn, len(s.ptes))
+	}
+	p := &s.ptes[pfn]
+	if !p.present {
+		return nil, fmt.Errorf("%w: pfn %d not present", ErrBadPFN, pfn)
+	}
+	return p, nil
+}
+
+// Read copies data from guest page pfn at off.
+func (s *Space) Read(pfn PFN, off int, buf []byte) error {
+	s.mu.Lock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	mfn := p.mfn
+	s.mu.Unlock()
+	return s.mem.Read(mfn, off, buf)
+}
+
+// Write stores data into guest page pfn at off, resolving a COW fault
+// first when the page is family-shared.
+func (s *Space) Write(pfn PFN, off int, buf []byte, meter *vclock.Meter) error {
+	s.mu.Lock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if p.cow {
+		newMFN, err := s.mem.CopyOnWrite(s.dom, p.mfn, meter)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		p.mfn = newMFN
+		p.cow = false
+		p.writable = true
+		s.faults++
+		s.dirty = append(s.dirty, pfn)
+	} else if !p.writable {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: pfn %d", ErrReadOnly, pfn)
+	}
+	mfn := p.mfn
+	s.mu.Unlock()
+	return s.mem.Write(mfn, off, buf)
+}
+
+// TouchCOW forces the COW fault path for a page without writing data,
+// exactly what the clone_cow CLONEOP subcommand does for the fuzzer's
+// breakpoint pages (§7.2).
+func (s *Space) TouchCOW(pfn PFN, meter *vclock.Meter) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		return err
+	}
+	if !p.cow {
+		return nil
+	}
+	newMFN, err := s.mem.CopyOnWrite(s.dom, p.mfn, meter)
+	if err != nil {
+		return err
+	}
+	p.mfn = newMFN
+	p.cow = false
+	p.writable = true
+	s.faults++
+	s.dirty = append(s.dirty, pfn)
+	return nil
+}
+
+// PrivatePFNs returns the pfns whose kind is not KindRegular.
+func (s *Space) PrivatePFNs() []PFN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []PFN
+	for i := range s.ptes {
+		if s.ptes[i].present && s.ptes[i].kind != KindRegular {
+			out = append(out, PFN(i))
+		}
+	}
+	return out
+}
+
+// CloneStats reports the work performed by one clone operation.
+type CloneStats struct {
+	SharedPages   int // regular pages marked COW / re-shared
+	PrivateCopies int // private pages duplicated with contents
+	PrivateFresh  int // private pages given fresh zero frames
+	PTEntries     int // page-table mappings written for the child
+	P2MEntries    int // p2m entries rebuilt for the child
+	MetaFrames    int // page-table + p2m frames allocated for the child
+}
+
+// Clone produces a child address space for childDom following the paper's
+// memory-cloning rules: regular writable pages are shared copy-on-write via
+// dom_cow; read-only pages are shared without write protection changes;
+// private pages (page tables, start_info, rings, p2m, ...) are duplicated
+// (optionally with contents) or handed fresh frames; the child's page table
+// and p2m are rebuilt entry by entry. The parent's regular pages also
+// become COW in the parent. copyRing controls whether KindIORing contents
+// are copied (network devices) or left fresh (console).
+func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Space, CloneStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st CloneStats
+	if s.retired {
+		return nil, st, ErrSpaceRetired
+	}
+
+	child := &Space{
+		mem:  s.mem,
+		dom:  childDom,
+		ptes: make([]pte, len(s.ptes)),
+	}
+	// On any failure, release the partially-built child (dropping its
+	// sharer references and freeing its private frames) so a clone that
+	// dies of memory pressure leaves no trace.
+	fail := func(err error) (*Space, CloneStats, error) {
+		child.release()
+		return nil, st, err
+	}
+
+	for i := range s.ptes {
+		p := &s.ptes[i]
+		if !p.present {
+			continue
+		}
+		cp := pte{present: true, writable: p.writable, kind: p.kind}
+		switch p.kind {
+		case KindIDC:
+			// Genuinely shared, never COW: both sides keep writing
+			// to the same frame (§5.2.2).
+			if owner, err := s.mem.Owner(p.mfn); err == nil && owner == DomIDCOW {
+				if err := s.mem.AddSharer(p.mfn, 1); err != nil {
+					return fail(err)
+				}
+			} else if err := s.mem.Share(s.dom, p.mfn, 2, meter); err != nil {
+				return fail(err)
+			}
+			cp.mfn = p.mfn
+			st.SharedPages++
+		case KindRegular:
+			// Share between parent and child. Writable pages are
+			// marked COW on both ends; read-only pages (text) are
+			// shared with no fault cost ever.
+			if p.cow {
+				// Already family-shared from an earlier clone:
+				// just add the child as a sharer.
+				if err := s.mem.AddSharer(p.mfn, 1); err != nil {
+					return fail(err)
+				}
+			} else {
+				if err := s.mem.Share(s.dom, p.mfn, 2, meter); err != nil {
+					return fail(err)
+				}
+				if p.writable {
+					p.cow = true
+				}
+			}
+			cp.mfn = p.mfn
+			cp.cow = p.writable
+			st.SharedPages++
+		case KindConsole, KindXenstore:
+			// Fresh zeroed frames: the child console/xenstore rings
+			// start empty.
+			mfn, err := s.mem.Alloc(childDom, meter)
+			if err != nil {
+				return fail(err)
+			}
+			cp.mfn = mfn
+			st.PrivateFresh++
+		case KindIORing:
+			mfn, err := s.mem.Alloc(childDom, meter)
+			if err != nil {
+				return fail(err)
+			}
+			if copyRing {
+				if err := s.mem.CopyFrame(mfn, p.mfn, meter); err != nil {
+					return fail(err)
+				}
+				st.PrivateCopies++
+			} else {
+				st.PrivateFresh++
+			}
+			cp.mfn = mfn
+		default: // KindPageTable, KindStartInfo, KindP2M: copy + rewrite
+			mfn, err := s.mem.Alloc(childDom, meter)
+			if err != nil {
+				return fail(err)
+			}
+			if err := s.mem.CopyFrame(mfn, p.mfn, meter); err != nil {
+				return fail(err)
+			}
+			cp.mfn = mfn
+			st.PrivateCopies++
+		}
+		child.ptes[i] = cp
+		st.PTEntries++
+		st.P2MEntries++
+	}
+
+	// Rebuild the child's page-table and p2m metadata frames. This is
+	// the dominant clone cost at large memory sizes (§6.2): every
+	// mapping is written once into the new page table and once into the
+	// new p2m.
+	var err error
+	child.ptFrames, err = s.mem.AllocN(childDom, PTFrameCount(len(s.ptes)), meter)
+	if err != nil {
+		return fail(err)
+	}
+	child.p2mFrames, err = s.mem.AllocN(childDom, P2MFrameCount(len(s.ptes)), meter)
+	if err != nil {
+		return fail(err)
+	}
+	st.MetaFrames = len(child.ptFrames) + len(child.p2mFrames)
+	if meter != nil {
+		meter.Charge(meter.Costs().PTEntryClone, st.PTEntries)
+		meter.Charge(meter.Costs().P2MEntryClone, st.P2MEntries)
+	}
+	return child, st, nil
+}
+
+// MarkAllCOW re-protects every currently-shared regular page in this space
+// (used by clone_reset bookkeeping in the fuzzing harness after restoring
+// dirty pages).
+func (s *Space) MarkAllCOW() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.ptes {
+		p := &s.ptes[i]
+		if p.present && p.kind == KindRegular && p.writable {
+			if owner, err := s.mem.Owner(p.mfn); err == nil && owner == DomIDCOW {
+				p.cow = true
+			}
+		}
+	}
+}
+
+// TakeDirty returns the pfns privatized by COW faults since the previous
+// call and clears the record (the clone_reset working set).
+func (s *Space) TakeDirty() []PFN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.dirty
+	s.dirty = nil
+	return out
+}
+
+// Remap frees the private frame currently backing pfn and installs mfn in
+// its place, optionally COW-protected. Used by clone_reset to re-attach a
+// fuzzing clone's dirtied pages to the parent's frames.
+func (s *Space) Remap(pfn PFN, mfn MFN, cow bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.pteLocked(pfn)
+	if err != nil {
+		return err
+	}
+	if owner, err := s.mem.Owner(p.mfn); err == nil && owner == s.dom {
+		if err := s.mem.Free(s.dom, p.mfn); err != nil {
+			return err
+		}
+	}
+	p.mfn = mfn
+	p.cow = cow
+	return nil
+}
+
+// Release frees every frame of the space: owned frames are freed, shared
+// frames drop one reference.
+func (s *Space) Release() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.release()
+}
+
+func (s *Space) release() error {
+	if s.retired {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := range s.ptes {
+		p := &s.ptes[i]
+		if !p.present {
+			continue
+		}
+		owner, err := s.mem.Owner(p.mfn)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		if owner == DomIDCOW {
+			keep(s.mem.DropShared(p.mfn))
+		} else if owner == s.dom {
+			keep(s.mem.Free(s.dom, p.mfn))
+		}
+		p.present = false
+	}
+	for _, mfn := range s.ptFrames {
+		keep(s.mem.Free(s.dom, mfn))
+	}
+	for _, mfn := range s.p2mFrames {
+		keep(s.mem.Free(s.dom, mfn))
+	}
+	s.ptFrames, s.p2mFrames = nil, nil
+	s.retired = true
+	return firstErr
+}

@@ -1,0 +1,282 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// sink is a test endpoint counting deliveries.
+type sink struct {
+	mu  sync.Mutex
+	mac MAC
+	got []Packet
+}
+
+func newSink(last byte) *sink { return &sink{mac: MAC{0, 0x16, 0x3e, 0, 0, last}} }
+
+func (s *sink) HWAddr() MAC { return s.mac }
+func (s *sink) Deliver(p Packet) {
+	s.mu.Lock()
+	s.got = append(s.got, p)
+	s.mu.Unlock()
+}
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func TestBridgeFloodsUnknownThenLearns(t *testing.T) {
+	b := NewBridge("xenbr0")
+	a, c, d := newSink(1), newSink(2), newSink(3)
+	b.Attach(a)
+	b.Attach(c)
+	b.Attach(d)
+	if b.Ports() != 3 {
+		t.Fatalf("Ports = %d", b.Ports())
+	}
+	// Unknown destination floods everywhere except the ingress port.
+	b.Forward(a, Packet{SrcMAC: a.mac, DstMAC: MAC{9, 9, 9, 9, 9, 9}})
+	if a.count() != 0 || c.count() != 1 || d.count() != 1 {
+		t.Fatalf("flood counts = %d/%d/%d", a.count(), c.count(), d.count())
+	}
+	// Known destination is unicast.
+	b.Forward(c, Packet{SrcMAC: c.mac, DstMAC: a.mac})
+	if a.count() != 1 || d.count() != 1 {
+		t.Fatalf("unicast counts = %d/%d", a.count(), d.count())
+	}
+}
+
+func TestBridgeDetach(t *testing.T) {
+	b := NewBridge("xenbr0")
+	a, c := newSink(1), newSink(2)
+	b.Attach(a)
+	b.Attach(c)
+	b.Detach(c)
+	b.Forward(nil, Packet{DstMAC: c.mac})
+	if c.count() != 0 {
+		t.Fatal("detached port received traffic")
+	}
+}
+
+func TestFlowHashStableAndSpreads(t *testing.T) {
+	p := Packet{SrcIP: IP{10, 0, 0, 1}, DstIP: IP{10, 0, 0, 2}, SrcPort: 1234, DstPort: 80}
+	if FlowHash(p) != FlowHash(p) {
+		t.Fatal("FlowHash not deterministic")
+	}
+	// Distinct ports must spread over 4 slaves reasonably well.
+	counts := make([]int, 4)
+	for port := uint16(1000); port < 1256; port++ {
+		q := p
+		q.SrcPort = port
+		counts[FlowHash(q)%4]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("slave %d never selected across 256 flows: %v", i, counts)
+		}
+	}
+}
+
+func TestBondXORPolicy(t *testing.T) {
+	b := NewBond("bond0")
+	s1, s2 := newSink(1), newSink(2)
+	b.Enslave(s1)
+	b.Enslave(s2)
+	if b.Slaves() != 2 {
+		t.Fatalf("Slaves = %d", b.Slaves())
+	}
+	// Same flow always lands on the same slave.
+	p := Packet{SrcIP: IP{10, 0, 0, 1}, DstIP: IP{10, 0, 0, 2}, SrcPort: 5000, DstPort: 80}
+	want, err := b.SlaveFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Deliver(p)
+	}
+	slaves := []*sink{s1, s2}
+	if got := slaves[want].count(); got != 10 {
+		t.Fatalf("selected slave received %d packets, want 10", got)
+	}
+	if got := slaves[1-want].count(); got != 0 {
+		t.Fatalf("other slave received %d packets, want 0", got)
+	}
+}
+
+func TestBondNoSlaves(t *testing.T) {
+	b := NewBond("bond0")
+	if _, err := b.SlaveFor(Packet{}); err != ErrNoSlaves {
+		t.Fatalf("SlaveFor empty bond: %v", err)
+	}
+	b.Deliver(Packet{}) // must not panic
+}
+
+func TestBondRelease(t *testing.T) {
+	b := NewBond("bond0")
+	s1, s2 := newSink(1), newSink(2)
+	b.Enslave(s1)
+	b.Enslave(s2)
+	b.Release(s1)
+	if b.Slaves() != 1 {
+		t.Fatalf("Slaves after release = %d", b.Slaves())
+	}
+	b.Deliver(Packet{SrcPort: 1})
+	if s2.count() != 1 {
+		t.Fatal("remaining slave did not receive")
+	}
+}
+
+func TestBondIdentity(t *testing.T) {
+	b := NewBond("bond0")
+	if b.HWAddr() != (MAC{}) {
+		t.Fatal("empty bond has a MAC")
+	}
+	s1 := newSink(7)
+	b.Enslave(s1)
+	if b.HWAddr() != s1.mac {
+		t.Fatal("bond identity != first slave MAC")
+	}
+}
+
+func TestUniqueFlowTuplesAvoidCollisions(t *testing.T) {
+	// The paper's Fig. 4 methodology: assign a unique port per clone so
+	// no two <address, port> tuples map to the same slave. Verify such
+	// an assignment exists for small slave counts.
+	b := NewBond("bond0")
+	sinks := make([]*sink, 4)
+	for i := range sinks {
+		sinks[i] = newSink(byte(i))
+		b.Enslave(sinks[i])
+	}
+	assigned := map[int]uint16{}
+	base := Packet{SrcIP: IP{10, 0, 0, 1}, DstIP: IP{10, 0, 0, 2}, DstPort: 7}
+	for port := uint16(9000); port < 9999 && len(assigned) < 4; port++ {
+		p := base
+		p.SrcPort = port
+		idx, _ := b.SlaveFor(p)
+		if _, taken := assigned[idx]; !taken {
+			assigned[idx] = port
+		}
+	}
+	if len(assigned) != 4 {
+		t.Fatalf("could not find collision-free ports for 4 slaves: %v", assigned)
+	}
+}
+
+func TestOVSGroupVanillaHashes(t *testing.T) {
+	g := NewOVSGroup("group1")
+	s1, s2 := newSink(1), newSink(2)
+	g.AddBucket(s1)
+	g.AddBucket(s2)
+	if g.Buckets() != 2 {
+		t.Fatalf("Buckets = %d", g.Buckets())
+	}
+	p := Packet{SrcPort: 1111}
+	for i := 0; i < 6; i++ {
+		g.Deliver(p)
+	}
+	if s1.count()+s2.count() != 6 {
+		t.Fatal("packets lost")
+	}
+	if s1.count() != 0 && s2.count() != 0 {
+		t.Fatal("one flow split across buckets")
+	}
+}
+
+func TestOVSGroupCustomStatefulSelector(t *testing.T) {
+	// §5.2.1: OVS can be extended with selection criteria that keep
+	// per-flow state — here, least-loaded assignment remembered per
+	// source port.
+	g := NewOVSGroup("group1")
+	s1, s2 := newSink(1), newSink(2)
+	g.AddBucket(s1)
+	g.AddBucket(s2)
+	flows := map[uint16]int{}
+	load := make([]int, 2)
+	g.SetSelector(func(p Packet, n int) int {
+		if idx, ok := flows[p.SrcPort]; ok {
+			return idx
+		}
+		best := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		flows[p.SrcPort] = best
+		load[best]++
+		return best
+	})
+	for port := uint16(0); port < 10; port++ {
+		g.Deliver(Packet{SrcPort: port})
+	}
+	if s1.count() != 5 || s2.count() != 5 {
+		t.Fatalf("stateful selector balance = %d/%d, want 5/5", s1.count(), s2.count())
+	}
+}
+
+func TestOVSGroupOutOfRangeSelectorClamped(t *testing.T) {
+	g := NewOVSGroup("g")
+	s1 := newSink(1)
+	g.AddBucket(s1)
+	g.SetSelector(func(Packet, int) int { return 99 })
+	g.Deliver(Packet{})
+	if s1.count() != 1 {
+		t.Fatal("out-of-range selector dropped packet")
+	}
+	g.RemoveBucket(s1)
+	g.Deliver(Packet{}) // empty group: drop, no panic
+}
+
+func TestHostEndpoint(t *testing.T) {
+	h := NewHost(MAC{1}, IP{192, 168, 0, 1})
+	if h.HWAddr() != (MAC{1}) || h.IPAddr() != (IP{192, 168, 0, 1}) {
+		t.Fatal("identity wrong")
+	}
+	h.Deliver(Packet{SrcPort: 9})
+	select {
+	case <-h.Notify():
+	default:
+		t.Fatal("notify not pulsed")
+	}
+	got := h.Received()
+	if len(got) != 1 || got[0].SrcPort != 9 {
+		t.Fatalf("Received = %v", got)
+	}
+	if len(h.Received()) != 0 {
+		t.Fatal("Received did not drain")
+	}
+}
+
+func TestMACForDomain(t *testing.T) {
+	m := MACForDomain(0x010203)
+	want := MAC{0x00, 0x16, 0x3e, 0x01, 0x02, 0x03}
+	if m != want {
+		t.Fatalf("MACForDomain = %v, want %v", m, want)
+	}
+	if m.String() != "00:16:3e:01:02:03" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestIPString(t *testing.T) {
+	if (IP{10, 1, 2, 3}).String() != "10.1.2.3" {
+		t.Fatal("IP.String wrong")
+	}
+}
+
+func TestFlowHashDistributionProperty(t *testing.T) {
+	// Property: FlowHash depends only on the 3+4 tuple, never on MACs or
+	// payload.
+	f := func(sip, dip [4]byte, sp, dp uint16, mac1, mac2 [6]byte, payload []byte) bool {
+		a := Packet{SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp}
+		b := a
+		b.SrcMAC, b.DstMAC, b.Payload = mac1, mac2, payload
+		return FlowHash(a) == FlowHash(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

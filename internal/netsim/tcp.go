@@ -1,0 +1,240 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// A minimal connection-oriented layer over the packet fabric: enough TCP
+// for the workloads the paper runs — connections established by a
+// SYN/SYN-ACK handshake, ordered data segments, FIN teardown. The bond's
+// layer3+4 hash load-balances CONNECTIONS across clone interfaces, which
+// is exactly what the NGINX experiment (§7.1) depends on; this layer makes
+// that mechanism observable end to end.
+//
+// Segment format: Payload[0] carries the flags byte, the rest is data.
+
+// TCP flag values carried in the first payload byte.
+const (
+	TCPSyn byte = 1 << iota
+	TCPAck
+	TCPFin
+	TCPData
+)
+
+// TCP errors.
+var (
+	ErrConnClosed  = errors.New("netsim: connection closed")
+	ErrConnTimeout = errors.New("netsim: connection timed out")
+	ErrConnRefused = errors.New("netsim: connection refused")
+	ErrAddrInUse   = errors.New("netsim: local port in use")
+)
+
+// Segment builds a TCP segment payload.
+func Segment(flags byte, data []byte) []byte {
+	out := make([]byte, 1+len(data))
+	out[0] = flags
+	copy(out[1:], data)
+	return out
+}
+
+// SegmentFlags extracts the flags byte (0 for non-TCP payloads).
+func SegmentFlags(payload []byte) byte {
+	if len(payload) == 0 {
+		return 0
+	}
+	return payload[0]
+}
+
+// SegmentData extracts the data portion.
+func SegmentData(payload []byte) []byte {
+	if len(payload) <= 1 {
+		return nil
+	}
+	return payload[1:]
+}
+
+// connKey identifies one connection from the host's perspective.
+type connKey struct {
+	remoteIP   IP
+	remotePort uint16
+	localPort  uint16
+}
+
+// HostConn is the host side of one established connection.
+type HostConn struct {
+	tcp *TCPHost
+	key connKey
+
+	mu     sync.Mutex
+	inbox  [][]byte
+	closed bool
+	wake   chan struct{}
+}
+
+// LocalPort reports the host-side ephemeral port.
+func (c *HostConn) LocalPort() uint16 { return c.key.localPort }
+
+// TCPHost gives a netsim.Host endpoint a connection API: Dial opens
+// connections into the fabric through inject (typically bond.Deliver or
+// bridge.Forward).
+type TCPHost struct {
+	host   *Host
+	inject func(Packet)
+
+	mu       sync.Mutex
+	conns    map[connKey]*HostConn
+	nextPort uint16
+}
+
+// NewTCPHost wraps a host endpoint.
+func NewTCPHost(h *Host, inject func(Packet)) *TCPHost {
+	return &TCPHost{host: h, inject: inject, conns: make(map[connKey]*HostConn), nextPort: 33000}
+}
+
+// pump drains the host endpoint's received packets into connections.
+func (t *TCPHost) pump() {
+	for _, p := range t.host.Received() {
+		if p.Proto != ProtoTCP {
+			continue
+		}
+		key := connKey{remoteIP: p.SrcIP, remotePort: p.SrcPort, localPort: p.DstPort}
+		t.mu.Lock()
+		conn := t.conns[key]
+		t.mu.Unlock()
+		if conn == nil {
+			continue
+		}
+		flags := SegmentFlags(p.Payload)
+		conn.mu.Lock()
+		switch {
+		case flags&TCPFin != 0:
+			conn.closed = true
+		case flags&TCPAck != 0:
+			// Handshake completion marker: a nil inbox entry Dial
+			// consumes.
+			conn.inbox = append(conn.inbox, nil)
+		case flags&TCPData != 0:
+			conn.inbox = append(conn.inbox, SegmentData(p.Payload))
+		}
+		conn.mu.Unlock()
+		select {
+		case conn.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Dial opens a connection to (ip, port), blocking for the handshake up to
+// timeout.
+func (t *TCPHost) Dial(ip IP, port uint16, timeout time.Duration) (*HostConn, error) {
+	t.mu.Lock()
+	local := t.nextPort
+	t.nextPort++
+	key := connKey{remoteIP: ip, remotePort: port, localPort: local}
+	if _, exists := t.conns[key]; exists {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrAddrInUse, local)
+	}
+	conn := &HostConn{tcp: t, key: key, wake: make(chan struct{}, 1)}
+	t.conns[key] = conn
+	t.mu.Unlock()
+
+	t.inject(Packet{
+		SrcMAC: t.host.HWAddr(), SrcIP: t.host.IPAddr(),
+		DstIP: ip, SrcPort: local, DstPort: port,
+		Proto: ProtoTCP, Payload: Segment(TCPSyn, nil),
+	})
+	// Await the SYN-ACK (delivered as an ACK segment into the inbox).
+	deadline := time.Now().Add(timeout)
+	for {
+		t.pump()
+		conn.mu.Lock()
+		if conn.closed {
+			conn.mu.Unlock()
+			return nil, ErrConnRefused
+		}
+		if len(conn.inbox) > 0 && conn.inbox[0] == nil {
+			// The handshake ACK carries no data; consume it.
+			conn.inbox = conn.inbox[1:]
+			conn.mu.Unlock()
+			return conn, nil
+		}
+		conn.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.mu.Lock()
+			delete(t.conns, key)
+			t.mu.Unlock()
+			return nil, ErrConnTimeout
+		}
+		select {
+		case <-conn.wake:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Send transmits data on the connection.
+func (c *HostConn) Send(data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrConnClosed
+	}
+	c.mu.Unlock()
+	c.tcp.inject(Packet{
+		SrcMAC: c.tcp.host.HWAddr(), SrcIP: c.tcp.host.IPAddr(),
+		DstIP: c.key.remoteIP, SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Proto: ProtoTCP, Payload: Segment(TCPData, data),
+	})
+	return nil
+}
+
+// Recv blocks for the next data segment up to timeout.
+func (c *HostConn) Recv(timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.tcp.pump()
+		c.mu.Lock()
+		if len(c.inbox) > 0 {
+			data := c.inbox[0]
+			c.inbox = c.inbox[1:]
+			c.mu.Unlock()
+			return data, nil
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrConnClosed
+		}
+		if time.Now().After(deadline) {
+			return nil, ErrConnTimeout
+		}
+		select {
+		case <-c.wake:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close sends FIN and forgets the connection.
+func (c *HostConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.tcp.inject(Packet{
+		SrcMAC: c.tcp.host.HWAddr(), SrcIP: c.tcp.host.IPAddr(),
+		DstIP: c.key.remoteIP, SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Proto: ProtoTCP, Payload: Segment(TCPFin, nil),
+	})
+	c.tcp.mu.Lock()
+	delete(c.tcp.conns, c.key)
+	c.tcp.mu.Unlock()
+	return nil
+}
