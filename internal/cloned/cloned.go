@@ -9,11 +9,13 @@
 package cloned
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 
 	"nephele/internal/devices"
+	"nephele/internal/fault"
 	"nephele/internal/hv"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
@@ -47,6 +49,41 @@ type Options struct {
 	// HostCores is the physical core count used for pinning (the
 	// paper's machine has 4).
 	HostCores int
+	// MaxRetries bounds the retry attempts after a transient
+	// second-stage failure; 0 selects DefaultMaxRetries, a negative
+	// value disables retries.
+	MaxRetries int
+}
+
+// DefaultMaxRetries is the retry budget for transient second-stage faults
+// when Options.MaxRetries is zero.
+const DefaultMaxRetries = 3
+
+// retryBudget resolves the effective retry count.
+func (o Options) retryBudget() int {
+	switch {
+	case o.MaxRetries < 0:
+		return 0
+	case o.MaxRetries == 0:
+		return DefaultMaxRetries
+	default:
+		return o.MaxRetries
+	}
+}
+
+// FailureStats counts the daemon's failure handling activity.
+type FailureStats struct {
+	// Failures is the number of second stages that ultimately failed
+	// (fatal fault, or transient retries exhausted).
+	Failures int
+	// Retries is the number of retry attempts made after transient
+	// faults.
+	Retries int
+	// Rollbacks is the number of partial-clone rollbacks performed
+	// (one before every retry and every abort).
+	Rollbacks int
+	// Aborts is the number of CloneOpAbort hypercalls issued.
+	Aborts int
 }
 
 // parentInfo is the cached Xenstore view of a parent domain, read once on
@@ -78,6 +115,7 @@ type Daemon struct {
 	secondStage map[hv.DomID]vclock.Duration
 	served      int
 	pinNext     int // next physical core for PinCloneVCPUs
+	failures    FailureStats
 }
 
 // New creates the daemon and enables cloning globally (xencloned is
@@ -104,6 +142,13 @@ func (d *Daemon) Served() int {
 	return d.served
 }
 
+// FailureStats reports the daemon's failure/retry/rollback counters.
+func (d *Daemon) FailureStats() FailureStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failures
+}
+
 // SecondStageDuration reports the second-stage virtual time spent for a
 // child.
 func (d *Daemon) SecondStageDuration(child hv.DomID) (vclock.Duration, bool) {
@@ -122,19 +167,66 @@ func (d *Daemon) InvalidateCache(parent hv.DomID) {
 
 // ServeAll drains the notification ring and runs the second stage for
 // every pending clone, charging onto meter. It returns the number of
-// clones completed. Callers that want the asynchronous flavour run it from
-// a VIRQ_CLONED handler.
+// clones completed, which is accurate even when some notifications failed:
+// clones are isolated from each other, so one failed child is rolled back
+// and aborted while the rest of the batch completes normally. The returned
+// error joins the per-child failures. Callers that want the asynchronous
+// flavour run it from a VIRQ_CLONED handler.
 func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 	if meter == nil {
 		meter = vclock.NewMeter(nil)
 	}
 	notes := d.HV.PopNotifications()
+	served := 0
+	var errs []error
 	for _, n := range notes {
-		if err := d.serveOne(n, meter); err != nil {
-			return 0, fmt.Errorf("cloned: second stage for %d: %w", n.Child, err)
+		if err := d.serveOneIsolated(n, meter); err != nil {
+			errs = append(errs, fmt.Errorf("cloned: second stage for %d: %w", n.Child, err))
+			continue
 		}
+		served++
 	}
-	return len(notes), nil
+	return served, errors.Join(errs...)
+}
+
+// serveOneIsolated runs the second stage for one notification with the
+// daemon's failure protocol around it: on any failure the partial clone is
+// rolled back; transient faults are retried with exponential backoff up to
+// the retry budget; a fatal fault (or an exhausted budget) aborts the
+// clone through CLONEOP so the parent resumes with the child reported
+// failed.
+func (d *Daemon) serveOneIsolated(n hv.CloneNotification, meter *vclock.Meter) error {
+	budget := d.Opts.retryBudget()
+	for attempt := 0; ; attempt++ {
+		err := d.serveOne(n, meter)
+		if err == nil {
+			return nil
+		}
+		d.rollback(n, meter)
+		d.mu.Lock()
+		d.failures.Rollbacks++
+		retry := fault.IsTransient(err) && attempt < budget
+		if retry {
+			d.failures.Retries++
+		}
+		d.mu.Unlock()
+		if retry {
+			// Exponential backoff: base, 2x base, 4x base, ...
+			meter.Charge(meter.Costs().CloneRetryBase, 1<<attempt)
+			continue
+		}
+		// Fatal (or retries exhausted): abort the half-clone so the
+		// parent unblocks and every hypervisor-side resource of the
+		// child is released.
+		d.mu.Lock()
+		d.failures.Failures++
+		d.failures.Aborts++
+		d.mu.Unlock()
+		if aerr := d.HV.CloneOpAbort(n.Child, meter); aerr != nil {
+			return errors.Join(err, fmt.Errorf("cloned: abort of %d: %w", n.Child, aerr))
+		}
+		return err
+	}
 }
 
 // serveOne runs the full second stage for one clone notification.
@@ -189,6 +281,57 @@ func (d *Daemon) serveOne(n hv.CloneNotification, meter *vclock.Meter) error {
 	d.served++
 	d.mu.Unlock()
 	return nil
+}
+
+// rollback undoes whatever part of the second stage completed for a failed
+// child, in reverse creation order: device backends first (vbd, 9pfs, vif
+// with switch detach, console), then the toolstack record, then the
+// child's whole Xenstore subtree. Every step tolerates the state it undoes
+// being absent, so rollback is safe no matter where the second stage
+// failed, and running it twice is harmless. The hypervisor-side teardown
+// (domain, COW references, clone budget) is NOT done here — that is
+// CloneOpAbort's job, invoked only when the failure is terminal.
+func (d *Daemon) rollback(n hv.CloneNotification, meter *vclock.Meter) {
+	c := uint32(n.Child)
+	// The parent inventory bounds what could have been cloned. If it is
+	// unreadable the failure happened before any device work, so the
+	// device sweep is moot.
+	info, infoErr := d.parentInfo(n.Parent, meter)
+	if infoErr == nil {
+		if d.Backends.Vbd != nil {
+			for _, idx := range info.vbds {
+				d.Backends.Vbd.Remove(c, idx)
+			}
+		}
+		if d.Backends.NineP != nil {
+			for range info.ninePs {
+				d.Backends.NineP.Remove(c)
+			}
+		}
+		for _, idx := range info.vifs {
+			if v, err := d.Backends.Net.Vif(c, idx); err == nil {
+				if d.Net != nil {
+					d.Net.Detach(v)
+				}
+				d.Backends.Net.RemoveVif(c, idx, meter)
+				// Consume the udev remove event the backend emitted.
+				d.Backends.Udev.TryRecv()
+			}
+		}
+		for range info.consoles {
+			d.Backends.Console.Remove(c)
+		}
+	}
+	d.XL.ReleaseClone(n.Child)
+	// Deleting the child subtree erases its base entries and any
+	// partially-cloned frontend device entries; the backend halves live
+	// under Dom0's subtree and must be removed per device kind. A child
+	// that never got that far yields NotFound, which is the desired
+	// state anyway.
+	_ = d.Store.Remove(fmt.Sprintf("/local/domain/%d", n.Child), meter)
+	for _, kind := range []string{"vbd", "9pfs", "vif", "console"} {
+		_ = d.Store.Remove(devices.BackendDir(c, kind), meter)
+	}
 }
 
 // pinVCPUs assigns the clone's vCPUs to physical cores round robin.
@@ -335,7 +478,9 @@ func (d *Daemon) cloneDevices(n hv.CloneNotification, info *parentInfo, meter *v
 			devices.BackendDir(p, "console"), devices.BackendDir(c, "console"), meter); err != nil {
 			return err
 		}
-		d.Backends.Console.Clone(p, c, meter)
+		if err := d.Backends.Console.Clone(p, c, meter); err != nil {
+			return err
+		}
 	}
 
 	// Network: store entries, backend clone device (pre-connected, ring

@@ -12,6 +12,7 @@ import (
 
 	"nephele/internal/cloned"
 	"nephele/internal/devices"
+	"nephele/internal/fault"
 	"nephele/internal/hv"
 	"nephele/internal/mem"
 	"nephele/internal/netsim"
@@ -145,6 +146,20 @@ func NewPlatform(opts Options) *Platform {
 // NewMeter returns a meter charging against this platform's cost table.
 func (p *Platform) NewMeter() *vclock.Meter { return vclock.NewMeter(p.Costs) }
 
+// SetFaults threads a fault-injection registry through every component of
+// the clone pipeline — hypervisor first stage, Xenstore, toolstack
+// adoption and all four device backends. Passing nil disarms injection
+// everywhere.
+func (p *Platform) SetFaults(r *fault.Registry) {
+	p.HV.SetFaults(r)
+	p.Store.SetFaults(r)
+	p.XL.SetFaults(r)
+	p.Backends.Net.SetFaults(r)
+	p.Backends.Console.SetFaults(r)
+	p.Backends.NineP.SetFaults(r)
+	p.Backends.Vbd.SetFaults(r)
+}
+
 // Boot creates a domain with xl (the regular instantiation path).
 func (p *Platform) Boot(cfg toolstack.DomainConfig, meter *vclock.Meter) (*toolstack.Record, error) {
 	return p.XL.Create(cfg, meter)
@@ -153,6 +168,9 @@ func (p *Platform) Boot(cfg toolstack.DomainConfig, meter *vclock.Meter) (*tools
 // CloneResult describes one completed clone operation.
 type CloneResult struct {
 	Children []DomID
+	// Failed lists children whose second stage failed and were rolled
+	// back and aborted (empty on full success).
+	Failed []DomID
 	// FirstStage is the hypervisor time (§6.1 reports ~1 ms at 4 MB).
 	FirstStage vclock.Duration
 	// SecondStage is the xencloned time, including device cloning and
@@ -179,22 +197,33 @@ func (p *Platform) Clone(caller, target DomID, n int, meter *vclock.Meter) (*Clo
 		return nil, err
 	}
 	secondStart := meter.Elapsed()
-	if _, err := p.Cloned.ServeAll(meter); err != nil {
-		return nil, err
-	}
-	<-done // parent resumed
+	_, serveErr := p.Cloned.ServeAll(meter)
+	// The parent resumes even when some second stages failed: failed
+	// children are aborted, which also releases their completion waits,
+	// so this wait cannot deadlock.
+	<-done
 	res := &CloneResult{
-		Children:    kids,
 		FirstStage:  stats.FirstStage,
 		SecondStage: meter.Elapsed() - secondStart,
 		Total:       meter.Elapsed() - start,
 		Stats:       stats,
 	}
-	p.mu.Lock()
 	for _, k := range kids {
+		if out, ok := p.HV.CloneOutcome(k); ok && out == hv.OutcomeAborted {
+			res.Failed = append(res.Failed, k)
+			continue
+		}
+		res.Children = append(res.Children, k)
+	}
+	p.mu.Lock()
+	for _, k := range res.Children {
 		p.cloneTotals[k] = res.Total
 	}
 	p.mu.Unlock()
+	if serveErr != nil {
+		return res, fmt.Errorf("core: clone of %d: %d of %d children failed: %w",
+			target, len(res.Failed), len(kids), serveErr)
+	}
 	return res, nil
 }
 

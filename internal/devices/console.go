@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 
+	"nephele/internal/fault"
 	"nephele/internal/ring"
 	"nephele/internal/vclock"
 )
@@ -13,9 +14,10 @@ import (
 // creates per-domain state internally, without any changes to its code
 // base (§5.2.1). Each domain's console output accumulates in its own log.
 type ConsoleBackend struct {
-	mu    sync.Mutex
-	logs  map[uint32]*strings.Builder
-	rings map[uint32]*ring.Ring
+	mu     sync.Mutex
+	logs   map[uint32]*strings.Builder
+	rings  map[uint32]*ring.Ring
+	faults *fault.Registry
 }
 
 // NewConsoleBackend creates the console device model.
@@ -24,6 +26,13 @@ func NewConsoleBackend() *ConsoleBackend {
 		logs:  make(map[uint32]*strings.Builder),
 		rings: make(map[uint32]*ring.Ring),
 	}
+}
+
+// SetFaults installs a fault-injection registry on the clone path (tests).
+func (c *ConsoleBackend) SetFaults(r *fault.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = r
 }
 
 // Create attaches a console for domid with a fresh ring.
@@ -42,10 +51,14 @@ func (c *ConsoleBackend) Create(domid uint32, meter *vclock.Meter) {
 
 // Clone creates the child console. The ring is deliberately NOT copied:
 // duplicating the parent console output into the child would hinder
-// debugging (§4.2).
-func (c *ConsoleBackend) Clone(parent, child uint32, meter *vclock.Meter) {
+// debugging (§4.2). An injected fault fails the clone before any child
+// state is created.
+func (c *ConsoleBackend) Clone(parent, child uint32, meter *vclock.Meter) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.faults.Check(fault.PointDevConsoleClone); err != nil {
+		return err
+	}
 	pr, ok := c.rings[parent]
 	if !ok {
 		pr = ring.New(64, 1)
@@ -55,6 +68,7 @@ func (c *ConsoleBackend) Clone(parent, child uint32, meter *vclock.Meter) {
 	if meter != nil {
 		meter.Charge(meter.Costs().CloneDeviceState, 1)
 	}
+	return nil
 }
 
 // Remove drops a domain's console.

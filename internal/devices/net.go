@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nephele/internal/fault"
 	"nephele/internal/netsim"
 	"nephele/internal/ring"
 	"nephele/internal/vclock"
@@ -241,9 +242,10 @@ func unmarshalPacket(b []byte) netsim.Packet {
 // and reacts to Xenstore entries by creating device state and emitting
 // udev events.
 type NetBackend struct {
-	mu   sync.Mutex
-	vifs map[string]*Vif // key: "domid/index"
-	udev *UdevQueue
+	mu     sync.Mutex
+	vifs   map[string]*Vif // key: "domid/index"
+	udev   *UdevQueue
+	faults *fault.Registry
 }
 
 // NewNetBackend creates the netback driver.
@@ -252,6 +254,13 @@ func NewNetBackend(udev *UdevQueue) *NetBackend {
 }
 
 func vifKey(domid uint32, index int) string { return fmt.Sprintf("%d/%d", domid, index) }
+
+// SetFaults installs a fault-injection registry on the clone path (tests).
+func (nb *NetBackend) SetFaults(r *fault.Registry) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	nb.faults = r
+}
 
 // CreateVif is the boot path: create internal state, emit the udev add
 // event that triggers xl's userspace operations.
@@ -273,8 +282,12 @@ func (nb *NetBackend) CreateVif(domid uint32, index int, ip netsim.IP, meter *vc
 // negotiation, emit udev for the userspace finalization (§5.2.1).
 func (nb *NetBackend) CloneVif(parent, child uint32, index int, meter *vclock.Meter) (*Vif, error) {
 	nb.mu.Lock()
+	faults := nb.faults
 	pv, ok := nb.vifs[vifKey(parent, index)]
 	nb.mu.Unlock()
+	if err := faults.Check(fault.PointDevVifClone); err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: vif %d/%d", ErrNoDevice, parent, index)
 	}

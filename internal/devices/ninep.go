@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"nephele/internal/fault"
 	"nephele/internal/vclock"
 )
 
@@ -332,11 +333,19 @@ type NinePBackend struct {
 	mu        sync.Mutex
 	fs        *HostFS
 	processes map[uint32]*NinePProcess // domid -> serving process
+	faults    *fault.Registry
 }
 
 // NewNinePBackend creates the registry over the exported host filesystem.
 func NewNinePBackend(fs *HostFS) *NinePBackend {
 	return &NinePBackend{fs: fs, processes: make(map[uint32]*NinePProcess)}
+}
+
+// SetFaults installs a fault-injection registry on the clone path (tests).
+func (b *NinePBackend) SetFaults(r *fault.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = r
 }
 
 // Launch starts a backend process for a freshly booted guest.
@@ -352,8 +361,12 @@ func (b *NinePBackend) Launch(domid uint32, export string, meter *vclock.Meter) 
 // registers the child with the same process.
 func (b *NinePBackend) Clone(parent, child uint32, meter *vclock.Meter) error {
 	b.mu.Lock()
+	faults := b.faults
 	p, ok := b.processes[parent]
 	b.mu.Unlock()
+	if err := faults.Check(fault.PointDev9pfsClone); err != nil {
+		return err
+	}
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoProcess, parent)
 	}

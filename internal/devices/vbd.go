@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nephele/internal/fault"
 	"nephele/internal/vclock"
 )
 
@@ -129,9 +130,10 @@ func (v *Vbd) Close() {
 // VbdBackend is the Dom0 block backend: one shared base image per backend
 // plus per-domain device instances.
 type VbdBackend struct {
-	mu   sync.Mutex
-	base []byte // the shared, read-only base image
-	vbds map[string]*Vbd
+	mu     sync.Mutex
+	base   []byte // the shared, read-only base image
+	vbds   map[string]*Vbd
+	faults *fault.Registry
 }
 
 // NewVbdBackend creates a backend over a base image (padded to whole
@@ -141,6 +143,13 @@ func NewVbdBackend(base []byte) *VbdBackend {
 		base = append(base, make([]byte, SectorSize-rem)...)
 	}
 	return &VbdBackend{base: base, vbds: make(map[string]*Vbd)}
+}
+
+// SetFaults installs a fault-injection registry on the clone path (tests).
+func (b *VbdBackend) SetFaults(r *fault.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = r
 }
 
 // Create is the boot path: a fresh device with an empty overlay.
@@ -166,8 +175,12 @@ func (b *VbdBackend) Create(domid uint32, index int, meter *vclock.Meter) *Vbd {
 // Connected without negotiation.
 func (b *VbdBackend) Clone(parent, child uint32, index int, meter *vclock.Meter) (*Vbd, error) {
 	b.mu.Lock()
+	faults := b.faults
 	pv, ok := b.vbds[vifKey(parent, index)]
 	b.mu.Unlock()
+	if err := faults.Check(fault.PointDevVbdClone); err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %d/%d", ErrNoVbd, parent, index)
 	}

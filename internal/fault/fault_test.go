@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilRegistryNeverFires(t *testing.T) {
+	var r *Registry
+	for _, p := range PipelinePoints() {
+		if err := r.Check(p); err != nil {
+			t.Fatalf("nil registry fired at %s: %v", p, err)
+		}
+	}
+	if r.Hits(PointXSWrite) != 0 || r.Fired(PointXSWrite) != 0 || r.TotalFired() != 0 {
+		t.Fatal("nil registry reported non-zero counters")
+	}
+	// Mutators must be no-ops, not panics.
+	r.Clear(PointXSWrite)
+	r.Reset()
+}
+
+func TestFailOnce(t *testing.T) {
+	r := NewRegistry()
+	r.Inject(PointXSWrite, FailOnce(), Fatal)
+	if err := r.Check(PointXSWrite); !IsFatal(err) {
+		t.Fatalf("first hit: got %v, want fatal fault", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Check(PointXSWrite); err != nil {
+			t.Fatalf("hit %d after firing: %v", i+2, err)
+		}
+	}
+	if got := r.Fired(PointXSWrite); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	if got := r.Hits(PointXSWrite); got != 6 {
+		t.Fatalf("Hits = %d, want 6", got)
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	r := NewRegistry()
+	r.Inject(PointDevVifClone, FailNth(3), Transient)
+	for i := 1; i <= 5; i++ {
+		err := r.Check(PointDevVifClone)
+		if i == 3 {
+			if !IsTransient(err) {
+				t.Fatalf("hit 3: got %v, want transient fault", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: unexpected %v", i, err)
+		}
+	}
+}
+
+func TestFailAlways(t *testing.T) {
+	r := NewRegistry()
+	r.Inject(PointHVCloneOne, FailAlways(), Fatal)
+	for i := 0; i < 4; i++ {
+		if err := r.Check(PointHVCloneOne); !IsFatal(err) {
+			t.Fatalf("hit %d: got %v, want fatal fault", i+1, err)
+		}
+	}
+	if got := r.Fired(PointHVCloneOne); got != 4 {
+		t.Fatalf("Fired = %d, want 4", got)
+	}
+}
+
+func TestUnarmedPointsCountHits(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Check(PointXSClone); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Hits(PointXSClone); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+	if got := r.Fired(PointXSClone); got != 0 {
+		t.Fatalf("Fired = %d, want 0", got)
+	}
+}
+
+func TestInjectReplacesRule(t *testing.T) {
+	r := NewRegistry()
+	r.Inject(PointXSWrite, FailOnce(), Transient)
+	if err := r.Check(PointXSWrite); !IsTransient(err) {
+		t.Fatalf("got %v, want transient", err)
+	}
+	// Re-arming resets the rule-local hit counter.
+	r.Inject(PointXSWrite, FailOnce(), Fatal)
+	if err := r.Check(PointXSWrite); !IsFatal(err) {
+		t.Fatalf("got %v, want fatal after re-arm", err)
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Inject(PointXSWrite, FailAlways(), Fatal)
+	if err := r.Check(PointXSWrite); err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Clear(PointXSWrite)
+	if err := r.Check(PointXSWrite); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+	if r.Fired(PointXSWrite) != 1 || r.Hits(PointXSWrite) != 2 {
+		t.Fatal("Clear dropped cumulative counters")
+	}
+	r.Reset()
+	if r.Fired(PointXSWrite) != 0 || r.Hits(PointXSWrite) != 0 || r.TotalFired() != 0 {
+		t.Fatal("Reset kept counters")
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	tr := &Error{Point: PointXSWrite, Kind: Transient}
+	fa := &Error{Point: PointXSWrite, Kind: Fatal}
+	wrapped := fmt.Errorf("second stage: %w", tr)
+	if !IsFault(wrapped) || !IsTransient(wrapped) || IsFatal(wrapped) {
+		t.Fatal("wrapped transient misclassified")
+	}
+	if !IsFatal(fa) || IsTransient(fa) {
+		t.Fatal("fatal misclassified")
+	}
+	if IsFault(errors.New("plain")) {
+		t.Fatal("plain error classified as fault")
+	}
+	if p, ok := PointOf(wrapped); !ok || p != PointXSWrite {
+		t.Fatalf("PointOf = %q, %v", p, ok)
+	}
+	if _, ok := PointOf(errors.New("plain")); ok {
+		t.Fatal("PointOf matched a plain error")
+	}
+}
+
+func TestPointListsDisjointAndComplete(t *testing.T) {
+	first, second := FirstStagePoints(), SecondStagePoints()
+	all := PipelinePoints()
+	if len(all) != len(first)+len(second) {
+		t.Fatalf("PipelinePoints = %d points, want %d", len(all), len(first)+len(second))
+	}
+	seen := make(map[string]bool)
+	for _, p := range all {
+		if seen[p] {
+			t.Fatalf("duplicate point %s", p)
+		}
+		seen[p] = true
+	}
+}

@@ -4,9 +4,39 @@ import (
 	"fmt"
 
 	"nephele/internal/evtchn"
+	"nephele/internal/fault"
 	"nephele/internal/mem"
 	"nephele/internal/vclock"
 )
+
+// CloneOutcome is the terminal state of one child's trip through the
+// two-stage pipeline.
+type CloneOutcome int
+
+const (
+	// OutcomePending: the child exists but xencloned has not reported
+	// completion or abort yet.
+	OutcomePending CloneOutcome = iota
+	// OutcomeCompleted: the second stage finished and the child runs (or
+	// stays paused if so configured).
+	OutcomeCompleted
+	// OutcomeAborted: the second stage failed; the child was destroyed
+	// and its resources released.
+	OutcomeAborted
+)
+
+func (o CloneOutcome) String() string {
+	switch o {
+	case OutcomePending:
+		return "pending"
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("CloneOutcome(%d)", int(o))
+	}
+}
 
 // CloneOpStats reports the work done by one first-stage clone, for the
 // microbenchmark drivers.
@@ -151,6 +181,9 @@ func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bo
 // budget are restored and every allocated frame is returned, so a clone
 // that dies of memory pressure leaves the parent exactly as it was.
 func (h *Hypervisor) cloneOne(parent *Domain, copyRing bool, meter *vclock.Meter) (child *Domain, st *CloneOpStats, err error) {
+	if err := h.Faults().Check(fault.PointHVCloneOne); err != nil {
+		return nil, nil, err
+	}
 	h.mu.Lock()
 	id := h.nextDom
 	h.nextDom++
@@ -263,6 +296,9 @@ func (h *Hypervisor) cloneOne(parent *Domain, copyRing bool, meter *vclock.Meter
 // pushNotification appends a clone notification, returning the channel the
 // first stage waits on. A full ring back-pressures cloning by failing.
 func (h *Hypervisor) pushNotification(parent, child *Domain, meter *vclock.Meter) (chan struct{}, error) {
+	if err := h.Faults().Check(fault.PointHVNotifyPush); err != nil {
+		return nil, err
+	}
 	parentSI, _ := parent.Space().MFNOf(parent.StartInfoPFN)
 	childSI, _ := child.Space().MFNOf(child.StartInfoPFN)
 	h.mu.Lock()
@@ -311,9 +347,12 @@ func (h *Hypervisor) CloneOpCompletion(child DomID, resumeChild bool, meter *vcl
 	h.mu.Lock()
 	wait := h.completionWaits[child]
 	delete(h.completionWaits, child)
+	if wait != nil {
+		h.outcomes[child] = OutcomeCompleted
+	}
 	h.mu.Unlock()
 	if wait == nil {
-		return fmt.Errorf("hv: no pending clone completion for domain %d", child)
+		return fmt.Errorf("%w: domain %d", ErrNoPendingClone, child)
 	}
 	if resumeChild {
 		if d, err := h.Domain(child); err == nil {
@@ -322,6 +361,65 @@ func (h *Hypervisor) CloneOpCompletion(child DomID, resumeChild bool, meter *vcl
 	}
 	close(wait)
 	return nil
+}
+
+// CloneOpAbort is the clone_abort subcommand: xencloned reports that the
+// second stage for child failed irrecoverably. The hypervisor destroys the
+// half-clone (releasing its COW references, overhead frames, event
+// channels and grant entries), unlinks it from the family tree, refunds
+// the parent's clone budget, records the child as aborted and closes the
+// parent's completion wait so the parent resumes instead of deadlocking on
+// a child that will never complete.
+func (h *Hypervisor) CloneOpAbort(child DomID, meter *vclock.Meter) error {
+	if meter != nil {
+		meter.Charge(meter.Costs().Hypercall, 1)
+	}
+	h.mu.Lock()
+	wait := h.completionWaits[child]
+	delete(h.completionWaits, child)
+	if wait != nil {
+		h.outcomes[child] = OutcomeAborted
+	}
+	// Drop any still-queued notification for the child: an abort may
+	// arrive before the daemon drained the ring (e.g. a second daemon
+	// instance or an operator intervention).
+	for i, n := range h.notifyRing {
+		if n.Child == child {
+			h.notifyRing = append(h.notifyRing[:i], h.notifyRing[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	if wait == nil {
+		return fmt.Errorf("%w: domain %d", ErrNoPendingClone, child)
+	}
+
+	// Refund the parent's clone budget before tearing the child down
+	// (DestroyDomain unlinks the family edge).
+	var destroyErr error
+	if d, err := h.Domain(child); err == nil {
+		if parentID, has := d.Parent(); has {
+			if p, err := h.Domain(parentID); err == nil {
+				p.mu.Lock()
+				p.clone.made--
+				p.mu.Unlock()
+			}
+		}
+		destroyErr = h.DestroyDomain(child, meter)
+	}
+	// The parent must unblock no matter how the teardown went.
+	close(wait)
+	return destroyErr
+}
+
+// CloneOutcome reports the recorded terminal state of a child that went
+// through the clone pipeline; ok is false for domains that never did (or
+// whose second stage is still pending).
+func (h *Hypervisor) CloneOutcome(child DomID) (CloneOutcome, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	o, ok := h.outcomes[child]
+	return o, ok
 }
 
 // CloneOpCOW is the clone_cow subcommand added for KFX fuzzing (§7.2): it

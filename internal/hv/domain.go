@@ -25,6 +25,7 @@ var (
 	ErrNotPaused       = errors.New("hv: domain not paused")
 	ErrRingFull        = errors.New("hv: clone notification ring full")
 	ErrBadVCPU         = errors.New("hv: bad vcpu")
+	ErrNoPendingClone  = errors.New("hv: no pending clone completion")
 )
 
 // Registers is the user-visible register state of one vCPU. Only the

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"nephele/internal/evtchn"
+	"nephele/internal/fault"
 	"nephele/internal/gnttab"
 	"nephele/internal/mem"
 	"nephele/internal/vclock"
@@ -55,12 +56,19 @@ type Hypervisor struct {
 
 	cloningEnabled bool
 
+	// faults is the optional fault-injection registry threaded through
+	// the first-stage clone path; nil never fires.
+	faults *fault.Registry
+
 	// Clone notifications: a bounded ring plus the VIRQ that wakes
 	// xencloned. completionWaits maps a child domain to the channel its
 	// first-stage clone blocks on until xencloned reports completion.
+	// outcomes records the terminal state of every child that went
+	// through the two-stage pipeline (completed or aborted).
 	notifyRing      []CloneNotification
 	notifyCap       int
 	completionWaits map[DomID]chan struct{}
+	outcomes        map[DomID]CloneOutcome
 }
 
 // New creates a hypervisor with Dom0 pre-registered (ID 0), mirroring the
@@ -85,12 +93,28 @@ func New(cfg Config) *Hypervisor {
 		overhead:        make(map[DomID][]mem.MFN),
 		notifyCap:       cfg.NotifyRingSlots,
 		completionWaits: make(map[DomID]chan struct{}),
+		outcomes:        make(map[DomID]CloneOutcome),
 	}
 	dom0 := newDomain(mem.DomID0, 1)
 	h.domains[mem.DomID0] = dom0
 	h.Events.AddDomain(mem.DomID0, nil)
 	h.Grants.AddDomain(mem.DomID0)
 	return h
+}
+
+// SetFaults installs a fault-injection registry on the first-stage clone
+// path (tests); a nil registry disables injection.
+func (h *Hypervisor) SetFaults(r *fault.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faults = r
+}
+
+// Faults returns the installed fault registry (nil when none).
+func (h *Hypervisor) Faults() *fault.Registry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.faults
 }
 
 // Domain looks a domain up.

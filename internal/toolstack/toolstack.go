@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"nephele/internal/devices"
+	"nephele/internal/fault"
 	"nephele/internal/hv"
 	"nephele/internal/netsim"
 	"nephele/internal/vclock"
@@ -167,6 +168,7 @@ type XL struct {
 	byName  map[string]hv.DomID
 	byID    map[hv.DomID]*Record
 	dom0Mem uint64 // bytes of Dom0 memory consumed by instance state
+	faults  *fault.Registry
 }
 
 // New creates a toolstack over the given platform components.
@@ -179,6 +181,14 @@ func New(hyp *hv.Hypervisor, store *xenstore.Store, be Backends, net Switch) *XL
 		byName:   make(map[string]hv.DomID),
 		byID:     make(map[hv.DomID]*Record),
 	}
+}
+
+// SetFaults installs a fault-injection registry on the clone-adoption path
+// (tests); a nil registry disables injection.
+func (x *XL) SetFaults(r *fault.Registry) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.faults = r
 }
 
 // Dom0MemUsed reports the Dom0 memory consumed by per-instance state.
@@ -376,6 +386,9 @@ func (x *XL) Destroy(id hv.DomID, meter *vclock.Meter) error {
 func (x *XL) AdoptClone(parent, child hv.DomID) (*Record, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if err := x.faults.Check(fault.PointToolstackAdopt); err != nil {
+		return nil, err
+	}
 	prec, ok := x.byID[parent]
 	if !ok {
 		return nil, fmt.Errorf("%w: parent %d", ErrNoDomain, parent)
@@ -387,4 +400,22 @@ func (x *XL) AdoptClone(parent, child hv.DomID) (*Record, error) {
 	x.byID[child] = rec
 	x.dom0Mem += Dom0MemPerInstanceBytes
 	return rec, nil
+}
+
+// ReleaseClone undoes an AdoptClone during rollback: the record and its
+// name are dropped without touching devices or the hypervisor (the caller
+// owns that part of the teardown). It reports whether the child was
+// registered; releasing an unknown child is a no-op, so a rollback may run
+// no matter how far adoption got.
+func (x *XL) ReleaseClone(child hv.DomID) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	rec, ok := x.byID[child]
+	if !ok {
+		return false
+	}
+	delete(x.byID, child)
+	delete(x.byName, rec.Config.Name)
+	x.dom0Mem -= Dom0MemPerInstanceBytes
+	return true
 }

@@ -50,6 +50,7 @@ type CostModel struct {
 	ImagePageRestore Duration // reading one page back from a saved image
 	XenclonedWake    Duration // xencloned daemon wakeup + dispatch
 	Introduce        Duration // introducing a new domain to xenstored
+	CloneRetryBase   Duration // base backoff before retrying a transient second-stage fault (doubles per attempt)
 
 	// Guest-side work.
 
@@ -104,6 +105,7 @@ func DefaultCosts() *CostModel {
 		ImagePageRestore: 19 * time.Microsecond,
 		XenclonedWake:    400 * time.Microsecond,
 		Introduce:        650 * time.Microsecond,
+		CloneRetryBase:   500 * time.Microsecond,
 
 		GuestBootKernel: 12 * time.Millisecond,
 		GuestNetReady:   2 * time.Millisecond,

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"nephele/internal/fault"
 	"nephele/internal/vclock"
 )
 
@@ -19,6 +20,9 @@ import (
 // matter how many nodes the device directory holds. The paper's Fig. 4
 // ablates exactly this (clone vs "clone + XS deep copy").
 func (s *Store) Clone(parentDom, childDom uint32, op CloneOp, parentPath, childPath string, meter *vclock.Meter) error {
+	if err := s.faultCheck(fault.PointXSClone); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.chargeRequest(meter, true)

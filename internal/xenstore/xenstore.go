@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 
+	"nephele/internal/fault"
 	"nephele/internal/vclock"
 )
 
@@ -111,6 +112,10 @@ type Store struct {
 	rotateEvery int
 	logDisabled bool
 
+	// faults is the optional fault-injection registry consulted by the
+	// write and xs_clone request handlers; nil never fires.
+	faults *fault.Registry
+
 	stats Stats
 }
 
@@ -130,6 +135,23 @@ func (s *Store) DisableAccessLog() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.logDisabled = true
+}
+
+// SetFaults installs a fault-injection registry on the write and xs_clone
+// request paths (tests); a nil registry disables injection.
+func (s *Store) SetFaults(r *fault.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = r
+}
+
+// faultCheck evaluates a store fault point without holding the lock
+// ordering hostage (the registry has its own lock).
+func (s *Store) faultCheck(point string) error {
+	s.mu.Lock()
+	r := s.faults
+	s.mu.Unlock()
+	return r.Check(point)
 }
 
 // Stats returns a copy of the traffic counters.
@@ -231,8 +253,12 @@ func (s *Store) fireWatchesLocked(path string) {
 	}
 }
 
-// Write stores value at path, one request.
+// Write stores value at path, one request. An injected fault fails the
+// request before it reaches the tree.
 func (s *Store) Write(path, value string, meter *vclock.Meter) error {
+	if err := s.faultCheck(fault.PointXSWrite); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.chargeRequest(meter, true)
