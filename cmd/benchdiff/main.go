@@ -1,0 +1,157 @@
+// Command benchdiff compares `go test -bench` output against the numbers
+// recorded in BENCH_baseline.json and exits non-zero when a benchmark's
+// wall-clock ns/op regresses beyond the threshold. It stands in for
+// benchstat in CI, where only the standard toolchain is available.
+//
+// Usage:
+//
+//	go test -bench . | go run ./cmd/benchdiff -baseline BENCH_baseline.json
+//	go test -bench . | go run ./cmd/benchdiff -update   # record new numbers
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
+//
+// Only benchmarks present in both the baseline and the input are compared;
+// -update rewrites the baseline's "benchmarks" section from the input and
+// leaves everything else (notes, seed numbers) untouched.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type record struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+type baseline struct {
+	Note       string             `json:"note,omitempty"`
+	Generated  string             `json:"generated,omitempty"`
+	Seed       map[string]float64 `json:"seed_ns_per_op,omitempty"`
+	Benchmarks map[string]record  `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkSpaceClone/first-4MB-8   3   15516 ns/op   16576 B/op   4 allocs/op
+//
+// The trailing -N is the GOMAXPROCS suffix and is stripped so recorded
+// names do not depend on the machine's core count.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
+
+func parseBench(r io.Reader) (map[string]record, error) {
+	out := make(map[string]record)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		rec := record{NsPerOp: ns}
+		if m[3] != "" {
+			rec.AllocsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		out[m[1]] = rec
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against / update")
+	threshold := flag.Float64("threshold", 0.20, "relative ns/op regression that fails the run (0.20 = +20%)")
+	update := flag.Bool("update", false, "rewrite the baseline's benchmark numbers from the input instead of comparing")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	var base baseline
+	if raw, err := os.ReadFile(*baselinePath); err == nil {
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+	} else if !*update {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v (run with -update to create)\n", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		if base.Benchmarks == nil {
+			base.Benchmarks = make(map[string]record)
+		}
+		for name, rec := range got {
+			base.Benchmarks[name] = rec
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: recorded %d benchmarks into %s\n", len(got), *baselinePath)
+		return
+	}
+
+	names := make([]string, 0, len(got))
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common with the baseline")
+		os.Exit(2)
+	}
+
+	regressions := 0
+	for _, name := range names {
+		b, g := base.Benchmarks[name], got[name]
+		delta := (g.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-55s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, b.NsPerOp, g.NsPerOp, delta*100, status)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d benchmarks regressed more than %.0f%%\n",
+			regressions, len(names), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(names), *threshold*100)
+}

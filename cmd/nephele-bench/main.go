@@ -5,6 +5,11 @@
 //
 //	nephele-bench -fig 4           # one figure at paper scale
 //	nephele-bench -fig all -quick  # every figure at reduced scale
+//	nephele-bench -fig 6 -cpuprofile cpu.prof -memprofile mem.prof
+//
+// Each figure prints its virtual-time series followed by the host-side
+// cost of regenerating it (wall-clock, allocations), so simulator
+// performance is visible beside the numbers it simulates.
 package main
 
 import (
@@ -12,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,7 +30,25 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11 or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write one CSV per series into this directory (for plotting)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the last figure) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	runners := map[string]func(bool) (*bench.Figure, error){
 		"4":  runFig4,
@@ -48,8 +73,12 @@ func main() {
 	}
 
 	for _, id := range selected {
-		start := time.Now()
-		fig, err := runners[id](*quick)
+		var fig *bench.Figure
+		wall, err := bench.MeasureWall(func() error {
+			var err error
+			fig, err = runners[id](*quick)
+			return err
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig%s failed: %v\n", id, err)
 			os.Exit(1)
@@ -61,7 +90,21 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(regenerated in %s)\n\n", wall)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

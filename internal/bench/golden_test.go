@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure series from the current simulation")
+
+// The golden-series tests pin the virtual-time output of the paper figures.
+// Performance work on the clone hot path (extent batching, parallel
+// fan-out, allocator changes) must leave every simulated duration
+// byte-identical: wall-clock optimizations are only admissible when the
+// virtual timeline cannot tell the difference. Regenerate with
+// `go test ./internal/bench -run TestGolden -update` only when a PR
+// deliberately changes the cost model or the simulated pipeline.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("virtual-time series diverged from %s.\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestGoldenFig4Series(t *testing.T) {
+	fig, err := Fig4(Fig4Config{Instances: 60, SampleEvery: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 4 boots race their asynchronous Xenstore traffic (udev,
+	// backend watches) against the boot meter, so the StorePerNode
+	// surcharge jitters by ~1 µs run to run — on the seed code as well.
+	// Compare numerically at the rendering resolution instead of
+	// byte-for-byte; any real pipeline change shifts points by far more.
+	checkGoldenNumeric(t, "golden-fig4.txt", fig.String(), 0.002)
+}
+
+// checkGoldenNumeric compares a rendered figure against its golden file
+// line by line, allowing numeric fields to differ by up to tol (in the
+// rendered unit, milliseconds). Non-numeric lines must match exactly.
+func checkGoldenNumeric(t *testing.T, name, got string, tol float64) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantRaw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(string(wantRaw), "\n"), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("series shape diverged from %s: %d lines, want %d\ngot:\n%s", path, len(gotLines), len(wantLines), got)
+	}
+	for i := range wantLines {
+		gf, wf := strings.Fields(gotLines[i]), strings.Fields(wantLines[i])
+		if len(gf) != len(wf) {
+			t.Fatalf("%s line %d diverged: %q, want %q", path, i+1, gotLines[i], wantLines[i])
+		}
+		for j := range wf {
+			gv, gerr := strconv.ParseFloat(gf[j], 64)
+			wv, werr := strconv.ParseFloat(wf[j], 64)
+			if gerr == nil && werr == nil {
+				if d := gv - wv; d > tol || d < -tol {
+					t.Errorf("%s line %d: value %v, want %v (tolerance %v)", path, i+1, gv, wv, tol)
+				}
+				continue
+			}
+			if gf[j] != wf[j] {
+				t.Errorf("%s line %d: field %q, want %q", path, i+1, gf[j], wf[j])
+			}
+		}
+	}
+}
+
+func TestGoldenFig5Series(t *testing.T) {
+	fig, err := Fig5(Fig5Config{HypMemoryBytes: 1 << 30, Dom0MemoryBytes: 1 << 30, SampleEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden-fig5.txt", fig.String())
+}
+
+func TestGoldenFig6Series(t *testing.T) {
+	fig, err := Fig6(Fig6Config{SizesMB: []int{1, 4, 64, 1024}, Repetitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden-fig6.txt", fig.String())
+}

@@ -11,6 +11,7 @@ package cloned
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -115,6 +116,10 @@ type Daemon struct {
 	secondStage map[hv.DomID]vclock.Duration
 	served      int
 	pinNext     int // next physical core for PinCloneVCPUs
+	// pinReserved pre-assigns pin bases per child in notification order,
+	// so parallel batch serving pins the same cores a sequential sweep
+	// would have.
+	pinReserved map[hv.DomID]int
 	failures    FailureStats
 }
 
@@ -172,21 +177,113 @@ func (d *Daemon) InvalidateCache(parent hv.DomID) {
 // and aborted while the rest of the batch completes normally. The returned
 // error joins the per-child failures. Callers that want the asynchronous
 // flavour run it from a VIRQ_CLONED handler.
+//
+// Children of different parents are independent and are served on a
+// bounded worker pool; children of the same parent keep their notification
+// order, which the failure protocol (nth-child fault semantics) and the
+// parent-info cache warm-up rely on. A batch from a single parent — every
+// paper experiment — is therefore served exactly like the sequential
+// daemon, on the caller's meter.
 func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 	if meter == nil {
 		meter = vclock.NewMeter(nil)
 	}
 	notes := d.HV.PopNotifications()
+	if len(notes) == 0 {
+		return 0, nil
+	}
+	if d.Opts.PinCloneVCPUs {
+		d.reservePins(notes)
+	}
+
+	// Group by parent, preserving arrival order within and across groups.
+	type group struct {
+		notes []hv.CloneNotification
+		idx   []int // original positions, for stable error ordering
+	}
+	var order []hv.DomID
+	groups := make(map[hv.DomID]*group)
+	for i, n := range notes {
+		g := groups[n.Parent]
+		if g == nil {
+			g = &group{}
+			groups[n.Parent] = g
+			order = append(order, n.Parent)
+		}
+		g.notes = append(g.notes, n)
+		g.idx = append(g.idx, i)
+	}
+
+	errSlots := make([]error, len(notes))
+	serveGroup := func(g *group, gm *vclock.Meter) int {
+		served := 0
+		for k, n := range g.notes {
+			if err := d.serveOneIsolated(n, gm); err != nil {
+				errSlots[g.idx[k]] = fmt.Errorf("cloned: second stage for %d: %w", n.Child, err)
+				continue
+			}
+			served++
+		}
+		return served
+	}
+
 	served := 0
-	var errs []error
+	if len(order) == 1 {
+		served = serveGroup(groups[order[0]], meter)
+		return served, errors.Join(errSlots...)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	meters := make([]*vclock.Meter, len(order))
+	counts := make([]int, len(order))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range work {
+				gm := vclock.NewMeter(meter.Costs())
+				counts[gi] = serveGroup(groups[order[gi]], gm)
+				meters[gi] = gm
+			}
+		}()
+	}
+	for gi := range order {
+		work <- gi
+	}
+	close(work)
+	wg.Wait()
+	for gi := range order {
+		meter.Add(meters[gi].Elapsed())
+		served += counts[gi]
+	}
+	return served, errors.Join(errSlots...)
+}
+
+// reservePins pre-assigns pin bases for every child in notification order,
+// so the round-robin core assignment does not depend on which worker
+// serves which parent group first.
+func (d *Daemon) reservePins(notes []hv.CloneNotification) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pinReserved == nil {
+		d.pinReserved = make(map[hv.DomID]int)
+	}
 	for _, n := range notes {
-		if err := d.serveOneIsolated(n, meter); err != nil {
-			errs = append(errs, fmt.Errorf("cloned: second stage for %d: %w", n.Child, err))
+		if _, ok := d.pinReserved[n.Child]; ok {
 			continue
 		}
-		served++
+		dom, err := d.HV.Domain(n.Child)
+		if err != nil {
+			continue
+		}
+		d.pinReserved[n.Child] = d.pinNext
+		d.pinNext += dom.VCPUCount()
 	}
-	return served, errors.Join(errs...)
 }
 
 // serveOneIsolated runs the second stage for one notification with the
@@ -196,6 +293,13 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 // clone through CLONEOP so the parent resumes with the child reported
 // failed.
 func (d *Daemon) serveOneIsolated(n hv.CloneNotification, meter *vclock.Meter) error {
+	defer func() {
+		// The child reached a terminal state either way; its pin
+		// reservation (if any) is spent.
+		d.mu.Lock()
+		delete(d.pinReserved, n.Child)
+		d.mu.Unlock()
+	}()
 	budget := d.Opts.retryBudget()
 	for attempt := 0; ; attempt++ {
 		err := d.serveOne(n, meter)
@@ -345,8 +449,11 @@ func (d *Daemon) pinVCPUs(child hv.DomID) error {
 		return err
 	}
 	d.mu.Lock()
-	base := d.pinNext
-	d.pinNext += dom.VCPUCount()
+	base, reserved := d.pinReserved[child]
+	if !reserved {
+		base = d.pinNext
+		d.pinNext += dom.VCPUCount()
+	}
 	d.mu.Unlock()
 	for i := 0; i < dom.VCPUCount(); i++ {
 		v, err := dom.VCPU(i)

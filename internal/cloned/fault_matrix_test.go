@@ -28,7 +28,7 @@ type faultRig struct {
 	faults *fault.Registry
 }
 
-func newFaultRig(t *testing.T, opts Options) *faultRig {
+func newFaultRig(t testing.TB, opts Options) *faultRig {
 	t.Helper()
 	hyp := hv.New(hv.Config{
 		MemoryBytes:             512 << 20,
@@ -69,7 +69,7 @@ func newFaultRig(t *testing.T, opts Options) *faultRig {
 
 // bootParent boots a guest with one device of every kind, so each device
 // fault point is exercised by a clone.
-func (r *faultRig) bootParent(t *testing.T) *toolstack.Record {
+func (r *faultRig) bootParent(t testing.TB) *toolstack.Record {
 	t.Helper()
 	rec, err := r.xl.Create(toolstack.DomainConfig{
 		Name:      "parent",

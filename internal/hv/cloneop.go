@@ -2,6 +2,8 @@ package hv
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"nephele/internal/evtchn"
 	"nephele/internal/fault"
@@ -85,6 +87,13 @@ func (h *Hypervisor) SetCloningEnabled(on bool) {
 // copyRing selects the I/O-ring clone policy for the address-space pages
 // tagged KindIORing (network rings are copied; the console ring page is a
 // distinct kind and always fresh).
+//
+// The n children are built concurrently on a bounded worker pool, each
+// charging a private meter; the results are then merged in child order.
+// Virtual time is a commutative sum of charges and the per-child stats are
+// aggregated in the same order as the old sequential loop, so the caller's
+// meter, the returned CloneOpStats and the notification order are identical
+// to a sequential run (see DESIGN.md "Fast path" for the argument).
 func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bool, meter *vclock.Meter) ([]DomID, *CloneOpStats, <-chan struct{}, error) {
 	if meter == nil {
 		meter = vclock.NewMeter(nil)
@@ -122,45 +131,143 @@ func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bo
 	parent.pause()
 
 	start := meter.Elapsed()
-	children := make([]DomID, 0, n)
 	stats := &CloneOpStats{}
-	var waits []chan struct{}
 	refundBudget := func(created int) {
 		parent.mu.Lock()
 		parent.clone.made -= n - created
 		parent.mu.Unlock()
 	}
+
+	// Reserve the child IDs up front so concurrent construction cannot
+	// reorder domain numbering.
+	ids := make([]DomID, n)
+	h.mu.Lock()
+	for i := range ids {
+		ids[i] = h.nextDom
+		h.nextDom++
+	}
+	h.mu.Unlock()
+
+	// Fault-injection gate, consulted in child order before any parallel
+	// work so per-point hit counts fire against the same child index as
+	// the sequential loop.
+	attempt := n
+	var gateErr error
 	for i := 0; i < n; i++ {
-		child, st, err := h.cloneOne(parent, copyRing, meter)
-		if err != nil {
-			refundBudget(len(children))
-			parent.unpause()
-			return children, stats, nil, err
+		if err := h.Faults().Check(fault.PointHVCloneOne); err != nil {
+			attempt, gateErr = i, err
+			break
 		}
-		children = append(children, child.ID)
-		stats.Memory.SharedPages += st.Memory.SharedPages
-		stats.Memory.PrivateCopies += st.Memory.PrivateCopies
-		stats.Memory.PrivateFresh += st.Memory.PrivateFresh
-		stats.Memory.PTEntries += st.Memory.PTEntries
-		stats.Memory.P2MEntries += st.Memory.P2MEntries
-		stats.Memory.MetaFrames += st.Memory.MetaFrames
-		stats.Events.Cloned += st.Events.Cloned
-		stats.Events.IDCBound += st.Events.IDCBound
-		stats.Grants += st.Grants
-		stats.VCPUs += st.VCPUs
+	}
+
+	// Build the children concurrently, each against a private meter.
+	type cloneResult struct {
+		child *Domain
+		st    *CloneOpStats
+		meter *vclock.Meter
+		err   error
+	}
+	results := make([]cloneResult, attempt)
+	buildOne := func(i int) {
+		cm := vclock.NewMeter(meter.Costs())
+		child, st, err := h.cloneOne(parent, ids[i], copyRing, cm)
+		results[i] = cloneResult{child: child, st: st, meter: cm, err: err}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > attempt {
+		workers = attempt
+	}
+	if workers <= 1 {
+		for i := 0; i < attempt; i++ {
+			buildOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					buildOne(i)
+				}
+			}()
+		}
+		for i := 0; i < attempt; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Merge in child order: meters, stats, the family links and the
+	// notification ring all observe the sequential ordering. The first
+	// failure wins (like the sequential loop stopping there); speculative
+	// successes past it are torn down with no virtual-time charge, since
+	// a sequential run would never have built them.
+	children := make([]DomID, 0, n)
+	var waits []chan struct{}
+	var retErr error
+	usedIDs := attempt // IDs a sequential run would have consumed
+	for i := 0; i < attempt; i++ {
+		r := results[i]
+		if retErr != nil {
+			if r.err == nil {
+				h.DestroyDomain(r.child.ID, nil)
+			}
+			continue
+		}
+		meter.Add(r.meter.Elapsed())
+		if r.err != nil {
+			retErr = r.err
+			usedIDs = i + 1
+			continue
+		}
+		parent.mu.Lock()
+		parent.children = append(parent.children, r.child.ID)
+		parent.mu.Unlock()
+		stats.Memory.SharedPages += r.st.Memory.SharedPages
+		stats.Memory.PrivateCopies += r.st.Memory.PrivateCopies
+		stats.Memory.PrivateFresh += r.st.Memory.PrivateFresh
+		stats.Memory.PTEntries += r.st.Memory.PTEntries
+		stats.Memory.P2MEntries += r.st.Memory.P2MEntries
+		stats.Memory.MetaFrames += r.st.Memory.MetaFrames
+		stats.Events.Cloned += r.st.Events.Cloned
+		stats.Events.IDCBound += r.st.Events.IDCBound
+		stats.Grants += r.st.Grants
+		stats.VCPUs += r.st.VCPUs
 
 		// Queue the notification for xencloned and raise VIRQ_CLONED.
-		wait, err := h.pushNotification(parent, child, meter)
+		wait, err := h.pushNotification(parent, r.child, meter)
 		if err != nil {
 			// The child was fully created but can never complete:
 			// tear it down and refund the unused budget.
-			children = children[:len(children)-1]
-			h.DestroyDomain(child.ID, nil)
-			refundBudget(len(children))
-			parent.unpause()
-			return children, stats, nil, err
+			h.DestroyDomain(r.child.ID, nil)
+			retErr = err
+			usedIDs = i + 1
+			continue
 		}
+		children = append(children, r.child.ID)
 		waits = append(waits, wait)
+	}
+	if retErr == nil && gateErr != nil {
+		// Every child before the fault-gate failure succeeded; the gate
+		// itself is the first failure, exactly where the sequential loop
+		// would have stopped.
+		retErr = gateErr
+	}
+	if retErr != nil {
+		// Return unused reserved IDs when no concurrent caller took more
+		// in the meantime, so failure paths consume the same ID range as
+		// a sequential run.
+		h.mu.Lock()
+		if h.nextDom == ids[n-1]+1 {
+			h.nextDom = ids[0] + DomID(usedIDs)
+		}
+		h.mu.Unlock()
+		refundBudget(len(children))
+		parent.unpause()
+		return children, stats, nil, retErr
 	}
 	stats.FirstStage = meter.Lap(start)
 	h.Events.RaiseVIRQ(evtchn.VIRQCloned, meter)
@@ -176,32 +283,16 @@ func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bo
 	return children, stats, done, nil
 }
 
-// cloneOne performs the hypervisor first stage for a single child. On any
-// failure the partial child state is unwound: the family link and clone
-// budget are restored and every allocated frame is returned, so a clone
-// that dies of memory pressure leaves the parent exactly as it was.
-func (h *Hypervisor) cloneOne(parent *Domain, copyRing bool, meter *vclock.Meter) (child *Domain, st *CloneOpStats, err error) {
-	if err := h.Faults().Check(fault.PointHVCloneOne); err != nil {
-		return nil, nil, err
-	}
-	h.mu.Lock()
-	id := h.nextDom
-	h.nextDom++
-	h.mu.Unlock()
-
+// cloneOne performs the hypervisor first stage for a single child with a
+// pre-reserved domain ID. On any failure the partial child state is
+// unwound: every allocated frame is returned, so a clone that dies of
+// memory pressure leaves the parent exactly as it was. The caller owns the
+// clone budget, the fault-injection gate and the parent.children link.
+func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, meter *vclock.Meter) (child *Domain, st *CloneOpStats, err error) {
 	defer func() {
 		if err == nil {
 			return
 		}
-		// Unwind the family link (CloneOpClone owns the clone budget).
-		parent.mu.Lock()
-		for i, c := range parent.children {
-			if c == id {
-				parent.children = append(parent.children[:i], parent.children[i+1:]...)
-				break
-			}
-		}
-		parent.mu.Unlock()
 		// Release whatever the child accumulated.
 		if child != nil {
 			child.mu.Lock()
@@ -243,7 +334,6 @@ func (h *Hypervisor) cloneOne(parent *Domain, copyRing bool, meter *vclock.Meter
 	child.hasParent = true
 	child.clone = cloneConfig{enabled: parent.clone.enabled, maxClones: parent.clone.maxClones}
 	pspace := parent.space
-	parent.children = append(parent.children, id)
 	parent.mu.Unlock()
 
 	if meter != nil {
@@ -303,15 +393,14 @@ func (h *Hypervisor) pushNotification(parent, child *Domain, meter *vclock.Meter
 	childSI, _ := child.Space().MFNOf(child.StartInfoPFN)
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.notifyRing) >= h.notifyCap {
-		return nil, ErrRingFull
-	}
-	h.notifyRing = append(h.notifyRing, CloneNotification{
+	if err := h.notify.push(CloneNotification{
 		Parent:        parent.ID,
 		Child:         child.ID,
 		ParentSIFrame: parentSI,
 		ChildSIFrame:  childSI,
-	})
+	}); err != nil {
+		return nil, err
+	}
 	wait := make(chan struct{})
 	h.completionWaits[child.ID] = wait
 	if meter != nil {
@@ -325,16 +414,14 @@ func (h *Hypervisor) pushNotification(parent, child *Domain, meter *vclock.Meter
 func (h *Hypervisor) PopNotifications() []CloneNotification {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := h.notifyRing
-	h.notifyRing = nil
-	return out
+	return h.notify.popAll()
 }
 
 // PendingNotifications reports the ring depth without draining.
 func (h *Hypervisor) PendingNotifications() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.notifyRing)
+	return h.notify.len()
 }
 
 // CloneOpCompletion is the clone_completion subcommand: xencloned reports
@@ -382,13 +469,9 @@ func (h *Hypervisor) CloneOpAbort(child DomID, meter *vclock.Meter) error {
 	}
 	// Drop any still-queued notification for the child: an abort may
 	// arrive before the daemon drained the ring (e.g. a second daemon
-	// instance or an operator intervention).
-	for i, n := range h.notifyRing {
-		if n.Child == child {
-			h.notifyRing = append(h.notifyRing[:i], h.notifyRing[i+1:]...)
-			break
-		}
-	}
+	// instance or an operator intervention). The indexed ring makes this
+	// O(1) instead of a scan of every queued clone.
+	h.notify.drop(child)
 	h.mu.Unlock()
 	if wait == nil {
 		return fmt.Errorf("%w: domain %d", ErrNoPendingClone, child)

@@ -60,13 +60,12 @@ type Hypervisor struct {
 	// the first-stage clone path; nil never fires.
 	faults *fault.Registry
 
-	// Clone notifications: a bounded ring plus the VIRQ that wakes
-	// xencloned. completionWaits maps a child domain to the channel its
-	// first-stage clone blocks on until xencloned reports completion.
+	// Clone notifications: a bounded indexed ring plus the VIRQ that
+	// wakes xencloned. completionWaits maps a child domain to the channel
+	// its first-stage clone blocks on until xencloned reports completion.
 	// outcomes records the terminal state of every child that went
 	// through the two-stage pipeline (completed or aborted).
-	notifyRing      []CloneNotification
-	notifyCap       int
+	notify          *notifyRing
 	completionWaits map[DomID]chan struct{}
 	outcomes        map[DomID]CloneOutcome
 }
@@ -91,7 +90,7 @@ func New(cfg Config) *Hypervisor {
 		domains:         make(map[DomID]*Domain),
 		nextDom:         1,
 		overhead:        make(map[DomID][]mem.MFN),
-		notifyCap:       cfg.NotifyRingSlots,
+		notify:          newNotifyRing(cfg.NotifyRingSlots),
 		completionWaits: make(map[DomID]chan struct{}),
 		outcomes:        make(map[DomID]CloneOutcome),
 	}

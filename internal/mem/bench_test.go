@@ -1,0 +1,61 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSpaceClone measures the host-side cost of cloning an address
+// space at several guest sizes. "first" clones a never-cloned parent, which
+// transfers every regular page to dom_cow; "second" re-clones an
+// already-COW parent, the O(extents) sharer-bump fast path. The virtual
+// durations these operations report are pinned by the golden-series tests;
+// this benchmark tracks what they cost to simulate.
+func BenchmarkSpaceClone(b *testing.B) {
+	for _, mb := range []int{4, 64, 1024} {
+		if testing.Short() && mb > 64 {
+			continue
+		}
+		pages := mb << 20 / PageSize
+		b.Run(fmt.Sprintf("first=%dMB", mb), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := New(uint64(2*mb+64) << 20)
+				parent, err := NewSpace(m, 1, pages, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, _, err := parent.Clone(2, false, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("second=%dMB", mb), func(b *testing.B) {
+			b.ReportAllocs()
+			m := New(uint64(2*mb+64) << 20)
+			parent, err := NewSpace(m, 1, pages, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm, _, err := parent.Clone(2, false, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer warm.Release()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				child, _, err := parent.Clone(3, false, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := child.Release(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -74,10 +74,18 @@ type frame struct {
 
 // Memory is the machine memory pool. All methods are safe for concurrent
 // use by multiple simulated domains.
+//
+// Frame metadata is materialized lazily: frames above the allocation
+// watermark have never existed, so creating a multi-GiB pool costs nothing
+// until frames are handed out. Allocation order is deterministic and
+// identical to a LIFO free list seeded low-to-high: the most recently freed
+// frame is reused first, otherwise the lowest never-allocated MFN goes out.
 type Memory struct {
 	mu        sync.Mutex
-	frames    []frame
-	freeList  []MFN
+	total     int     // pool size in frames
+	frames    []frame // metadata, grown lazily; len(frames) >= int(watermark)
+	watermark MFN     // lowest MFN never handed out
+	recycled  []MFN   // freed frames, reused LIFO
 	usedByDom map[DomID]int // frames charged to each owner (dom_cow pages charge dom_cow)
 	sharedCnt int           // frames currently owned by dom_cow
 }
@@ -85,32 +93,28 @@ type Memory struct {
 // New creates a machine memory pool of totalBytes (rounded down to whole
 // frames).
 func New(totalBytes uint64) *Memory {
-	n := totalBytes / PageSize
-	m := &Memory{
-		frames:    make([]frame, n),
-		freeList:  make([]MFN, 0, n),
+	return &Memory{
+		total:     int(totalBytes / PageSize),
 		usedByDom: make(map[DomID]int),
 	}
-	// Populate the free list high-to-low so allocation order is
-	// deterministic and low MFNs go out first.
-	for i := int64(n) - 1; i >= 0; i-- {
-		m.freeList = append(m.freeList, MFN(i))
-	}
-	return m
 }
 
 // TotalFrames reports the machine memory size in frames.
 func (m *Memory) TotalFrames() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.frames)
+	return m.total
 }
 
 // FreeFrames reports the number of unallocated frames.
 func (m *Memory) FreeFrames() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.freeList)
+	return m.freeLenLocked()
+}
+
+func (m *Memory) freeLenLocked() int {
+	return m.total - int(m.watermark) + len(m.recycled)
 }
 
 // UsedBy reports the number of frames currently owned by dom. Frames shared
@@ -132,46 +136,80 @@ func (m *Memory) SharedFrames() int {
 func (m *Memory) Alloc(dom DomID, meter *vclock.Meter) (MFN, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.allocLocked(dom, meter)
+	mfn, err := m.allocLocked(dom)
+	if err != nil {
+		return 0, err
+	}
+	if meter != nil {
+		meter.Charge(meter.Costs().PageAlloc, 1)
+	}
+	return mfn, nil
 }
 
-// AllocN allocates n frames for dom. On failure nothing is allocated.
+// AllocN allocates n frames for dom, taking the lock, updating the
+// ownership accounting and charging the meter once for the whole run. On
+// failure nothing is allocated.
 func (m *Memory) AllocN(dom DomID, n int, meter *vclock.Meter) ([]MFN, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if n > len(m.freeList) {
-		return nil, fmt.Errorf("%w: want %d frames, %d free", ErrOutOfMemory, n, len(m.freeList))
+	if n > m.freeLenLocked() {
+		return nil, fmt.Errorf("%w: want %d frames, %d free", ErrOutOfMemory, n, m.freeLenLocked())
+	}
+	if n <= 0 {
+		return nil, nil
 	}
 	out := make([]MFN, 0, n)
-	for i := 0; i < n; i++ {
-		mfn, err := m.allocLocked(dom, meter)
-		if err != nil {
-			// Cannot happen given the check above, but unwind anyway.
-			for _, f := range out {
-				m.freeLocked(f)
-			}
-			return nil, err
-		}
+	// Recycled frames first (most recent first), then a contiguous
+	// watermark run — the same order n singleton allocations make.
+	for len(out) < n && len(m.recycled) > 0 {
+		mfn := m.recycled[len(m.recycled)-1]
+		m.recycled = m.recycled[:len(m.recycled)-1]
+		m.initFrameLocked(mfn, dom)
 		out = append(out, mfn)
+	}
+	if rest := n - len(out); rest > 0 {
+		if need := int(m.watermark) + rest - len(m.frames); need > 0 {
+			m.frames = append(m.frames, make([]frame, need)...)
+		}
+		for i := 0; i < rest; i++ {
+			mfn := m.watermark + MFN(i)
+			m.initFrameLocked(mfn, dom)
+			out = append(out, mfn)
+		}
+		m.watermark += MFN(rest)
+	}
+	m.usedByDom[dom] += n
+	if meter != nil && n > 0 {
+		meter.Charge(meter.Costs().PageAlloc, n)
 	}
 	return out, nil
 }
 
-func (m *Memory) allocLocked(dom DomID, meter *vclock.Meter) (MFN, error) {
-	if len(m.freeList) == 0 {
-		return 0, ErrOutOfMemory
-	}
-	mfn := m.freeList[len(m.freeList)-1]
-	m.freeList = m.freeList[:len(m.freeList)-1]
+func (m *Memory) initFrameLocked(mfn MFN, dom DomID) {
 	f := &m.frames[mfn]
 	f.owner = dom
 	f.refcount = 1
 	f.inUse = true
 	f.data = nil
-	m.usedByDom[dom]++
-	if meter != nil {
-		meter.Charge(meter.Costs().PageAlloc, 1)
+}
+
+func (m *Memory) allocLocked(dom DomID) (MFN, error) {
+	var mfn MFN
+	switch {
+	case len(m.recycled) > 0:
+		mfn = m.recycled[len(m.recycled)-1]
+		m.recycled = m.recycled[:len(m.recycled)-1]
+	case int(m.watermark) < m.total:
+		mfn = m.watermark
+		m.watermark++
+		if int(mfn) >= len(m.frames) {
+			m.frames = append(m.frames, frame{})
+		}
+	default:
+		return 0, ErrOutOfMemory
 	}
+	m.initFrameLocked(mfn, dom)
+	m.usedByDom[dom]++
 	return mfn, nil
 }
 
@@ -195,27 +233,18 @@ func (m *Memory) Free(dom DomID, mfn MFN) error {
 }
 
 func (m *Memory) freeLocked(mfn MFN) {
-	f := &m.frames[mfn]
-	m.usedByDom[f.owner]--
-	if m.usedByDom[f.owner] == 0 {
-		delete(m.usedByDom, f.owner)
-	}
-	f.inUse = false
-	f.data = nil
-	f.refcount = 0
-	f.owner = DomIDInvalid
-	m.freeList = append(m.freeList, mfn)
+	m.dropUsageLocked(m.frames[mfn].owner, 1)
+	m.resetFrameLocked(mfn)
 }
 
 func (m *Memory) frameLocked(mfn MFN) (*frame, error) {
-	if int(mfn) >= len(m.frames) {
+	if int(mfn) >= m.total {
 		return nil, fmt.Errorf("%w: %d", ErrBadFrame, mfn)
 	}
-	f := &m.frames[mfn]
-	if !f.inUse {
+	if int(mfn) >= len(m.frames) || !m.frames[mfn].inUse {
 		return nil, fmt.Errorf("%w: %d", ErrDoubleFree, mfn)
 	}
-	return f, nil
+	return &m.frames[mfn], nil
 }
 
 // Owner reports the owner of a frame.
@@ -262,6 +291,16 @@ func (m *Memory) Share(dom DomID, mfn MFN, refs int, meter *vclock.Meter) error 
 	if f.owner != dom {
 		return fmt.Errorf("%w: frame %d owned by %d, shared by %d", ErrNotOwner, mfn, f.owner, dom)
 	}
+	m.shareLocked(f, refs)
+	if meter != nil {
+		meter.Charge(meter.Costs().PageShare, 1)
+	}
+	return nil
+}
+
+// shareLocked transfers an exclusively-owned frame to dom_cow with refs
+// sharers.
+func (m *Memory) shareLocked(f *frame, refs int) {
 	m.usedByDom[f.owner]--
 	if m.usedByDom[f.owner] == 0 {
 		delete(m.usedByDom, f.owner)
@@ -270,8 +309,63 @@ func (m *Memory) Share(dom DomID, mfn MFN, refs int, meter *vclock.Meter) error 
 	f.refcount = int32(refs)
 	m.usedByDom[DomIDCOW]++
 	m.sharedCnt++
-	if meter != nil {
-		meter.Charge(meter.Costs().PageShare, 1)
+}
+
+// ShareN shares a run of frames with refs sharers each, taking the lock and
+// charging the meter once for the run. Per frame it behaves exactly like
+// Share: frames already owned by dom_cow gain refs-1 references at no
+// virtual cost, frames owned by dom are transferred to dom_cow and charged
+// one PageShare. Validation runs before any mutation, so a failed call
+// leaves the pool untouched.
+func (m *Memory) ShareN(dom DomID, mfns []MFN, refs int, meter *vclock.Meter) error {
+	return m.shareRun(dom, len(mfns), func(i int) MFN { return mfns[i] }, refs, meter)
+}
+
+// sharePTEs is ShareN over the frames referenced by a run of page-table
+// entries, so the clone hot path never materializes an MFN list for runs
+// it only shares.
+func (m *Memory) sharePTEs(dom DomID, ptes []pte, refs int, meter *vclock.Meter) error {
+	return m.shareRun(dom, len(ptes), func(i int) MFN { return ptes[i].mfn }, refs, meter)
+}
+
+func (m *Memory) shareRun(dom DomID, n int, mfnAt func(int) MFN, refs int, meter *vclock.Meter) error {
+	if refs < 1 {
+		return fmt.Errorf("mem: share with %d refs", refs)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	transfers := 0
+	for i := 0; i < n; i++ {
+		mfn := mfnAt(i)
+		f, err := m.frameLocked(mfn)
+		if err != nil {
+			return err
+		}
+		if f.owner != DomIDCOW {
+			if f.owner != dom {
+				return fmt.Errorf("%w: frame %d owned by %d, shared by %d", ErrNotOwner, mfn, f.owner, dom)
+			}
+			transfers++
+		}
+	}
+	for i := 0; i < n; i++ {
+		f := &m.frames[mfnAt(i)]
+		if f.owner == DomIDCOW {
+			f.refcount += int32(refs - 1)
+			continue
+		}
+		f.owner = DomIDCOW
+		f.refcount = int32(refs)
+	}
+	if transfers > 0 {
+		// Every transferred frame was validated as owned by dom, so the
+		// per-owner accounting moves in one step instead of per frame.
+		m.dropUsageLocked(dom, transfers)
+		m.usedByDom[DomIDCOW] += transfers
+		m.sharedCnt += transfers
+		if meter != nil {
+			meter.Charge(meter.Costs().PageShare, transfers)
+		}
 	}
 	return nil
 }
@@ -289,6 +383,39 @@ func (m *Memory) AddSharer(mfn MFN, n int) error {
 		return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
 	}
 	f.refcount += int32(n)
+	return nil
+}
+
+// AddSharerN increments the reference count of a run of already-shared
+// frames by n each under one lock acquisition. Validation runs before any
+// mutation. This is the 2nd..Nth-clone fast path: re-cloning an
+// already-COW parent is nothing but sharer bumps.
+func (m *Memory) AddSharerN(mfns []MFN, n int) error {
+	return m.addSharerRun(len(mfns), func(i int) MFN { return mfns[i] }, n)
+}
+
+// addSharerPTEs is AddSharerN over the frames referenced by a run of
+// page-table entries (the 2nd..Nth-clone fast path works straight off the
+// parent's table).
+func (m *Memory) addSharerPTEs(ptes []pte, n int) error {
+	return m.addSharerRun(len(ptes), func(i int) MFN { return ptes[i].mfn }, n)
+}
+
+func (m *Memory) addSharerRun(cnt int, mfnAt func(int) MFN, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < cnt; i++ {
+		f, err := m.frameLocked(mfnAt(i))
+		if err != nil {
+			return err
+		}
+		if f.owner != DomIDCOW {
+			return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfnAt(i), f.owner)
+		}
+	}
+	for i := 0; i < cnt; i++ {
+		m.frames[mfnAt(i)].refcount += int32(n)
+	}
 	return nil
 }
 
@@ -322,10 +449,15 @@ func (m *Memory) CopyOnWrite(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, erro
 		}
 		return mfn, nil
 	}
-	newMFN, err := m.allocLocked(dom, meter)
+	newMFN, err := m.allocLocked(dom)
 	if err != nil {
 		return 0, err
 	}
+	if meter != nil {
+		meter.Charge(meter.Costs().PageAlloc, 1)
+	}
+	// allocLocked may have grown m.frames; re-resolve the shared frame.
+	f = &m.frames[mfn]
 	nf := &m.frames[newMFN]
 	if f.data != nil {
 		nf.data = make([]byte, PageSize)
@@ -357,6 +489,64 @@ func (m *Memory) DropShared(mfn MFN) error {
 		m.freeLocked(mfn)
 	}
 	return nil
+}
+
+// ReleaseN releases a run of frames on behalf of dom under one lock
+// acquisition, applying the domain-teardown rules per frame: dom_cow frames
+// drop one sharer reference (freeing on the last), frames owned by dom are
+// freed, and frames owned by anyone else are skipped. Bad frames are
+// recorded and skipped; the first error is returned after the whole run is
+// processed.
+func (m *Memory) ReleaseN(dom DomID, mfns []MFN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var firstErr error
+	ownFreed, cowFreed := 0, 0
+	for _, mfn := range mfns {
+		f, err := m.frameLocked(mfn)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		switch f.owner {
+		case DomIDCOW:
+			f.refcount--
+			if f.refcount == 0 {
+				m.sharedCnt--
+				cowFreed++
+				m.resetFrameLocked(mfn)
+			}
+		case dom:
+			ownFreed++
+			m.resetFrameLocked(mfn)
+		}
+	}
+	m.dropUsageLocked(dom, ownFreed)
+	m.dropUsageLocked(DomIDCOW, cowFreed)
+	return firstErr
+}
+
+// resetFrameLocked returns one frame to the recycled stack without touching
+// the per-owner usage accounting (the caller batches that).
+func (m *Memory) resetFrameLocked(mfn MFN) {
+	f := &m.frames[mfn]
+	f.inUse = false
+	f.data = nil
+	f.refcount = 0
+	f.owner = DomIDInvalid
+	m.recycled = append(m.recycled, mfn)
+}
+
+func (m *Memory) dropUsageLocked(dom DomID, n int) {
+	if n == 0 {
+		return
+	}
+	m.usedByDom[dom] -= n
+	if m.usedByDom[dom] == 0 {
+		delete(m.usedByDom, dom)
+	}
 }
 
 // Read copies the contents at (mfn, off) into buf. Reading a never-written
@@ -405,6 +595,36 @@ func (m *Memory) Write(mfn MFN, off int, buf []byte) error {
 func (m *Memory) CopyFrame(dst, src MFN, meter *vclock.Meter) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.copyFrameLocked(dst, src); err != nil {
+		return err
+	}
+	if meter != nil {
+		meter.Charge(meter.Costs().PageCopy, 1)
+	}
+	return nil
+}
+
+// CopyFrameN copies src[i] into dst[i] for every i, taking the lock and
+// charging the meter once for the run (PageCopy × len). Validation of the
+// slice lengths happens up front; a bad frame mid-run stops the copy there.
+func (m *Memory) CopyFrameN(dst, src []MFN, meter *vclock.Meter) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("mem: CopyFrameN with %d dst, %d src frames", len(dst), len(src))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range dst {
+		if err := m.copyFrameLocked(dst[i], src[i]); err != nil {
+			return err
+		}
+	}
+	if meter != nil && len(dst) > 0 {
+		meter.Charge(meter.Costs().PageCopy, len(dst))
+	}
+	return nil
+}
+
+func (m *Memory) copyFrameLocked(dst, src MFN) error {
 	fs, err := m.frameLocked(src)
 	if err != nil {
 		return err
@@ -420,9 +640,6 @@ func (m *Memory) CopyFrame(dst, src MFN, meter *vclock.Meter) error {
 			fd.data = make([]byte, PageSize)
 		}
 		copy(fd.data, fs.data)
-	}
-	if meter != nil {
-		meter.Charge(meter.Costs().PageCopy, 1)
 	}
 	return nil
 }

@@ -94,8 +94,11 @@ type Space struct {
 	faults int
 	// dirty records the pfns privatized by COW faults since the last
 	// TakeDirty, so clone_reset restores exactly the dirtied set instead
-	// of scanning the whole space.
-	dirty []PFN
+	// of scanning the whole space. dirtySet deduplicates it: a pfn that
+	// faults repeatedly between resets (TouchCOW after a Remap) appears
+	// once in the work list.
+	dirty    []PFN
+	dirtySet map[PFN]struct{}
 }
 
 // PTFrameCount returns the number of page-table frames needed to map n
@@ -271,7 +274,7 @@ func (s *Space) Write(pfn PFN, off int, buf []byte, meter *vclock.Meter) error {
 		p.cow = false
 		p.writable = true
 		s.faults++
-		s.dirty = append(s.dirty, pfn)
+		s.markDirtyLocked(pfn)
 	} else if !p.writable {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: pfn %d", ErrReadOnly, pfn)
@@ -302,8 +305,21 @@ func (s *Space) TouchCOW(pfn PFN, meter *vclock.Meter) error {
 	p.cow = false
 	p.writable = true
 	s.faults++
-	s.dirty = append(s.dirty, pfn)
+	s.markDirtyLocked(pfn)
 	return nil
+}
+
+// markDirtyLocked records a privatized pfn for the next TakeDirty,
+// deduplicating repeat faults on the same page.
+func (s *Space) markDirtyLocked(pfn PFN) {
+	if s.dirtySet == nil {
+		s.dirtySet = make(map[PFN]struct{})
+	}
+	if _, dup := s.dirtySet[pfn]; dup {
+		return
+	}
+	s.dirtySet[pfn] = struct{}{}
+	s.dirty = append(s.dirty, pfn)
 }
 
 // PrivatePFNs returns the pfns whose kind is not KindRegular.
@@ -345,96 +361,163 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 		return nil, st, ErrSpaceRetired
 	}
 
-	child := &Space{
-		mem:  s.mem,
-		dom:  childDom,
-		ptes: make([]pte, len(s.ptes)),
+	// The walk below only mutates the parent (COW bits, sharer counts);
+	// the child's table is produced afterwards with one bulk copy of the
+	// parent's entries. That copy is exact for shared extents — once the
+	// parent's COW bits are updated, the desired child entry is
+	// bit-identical to the parent's — so only extents that received fresh
+	// private frames need their mappings patched. fixups records those; a
+	// fixup with nil mfns clears a stale COW bit the child must not
+	// inherit (a read-only entry Remapped with cow set).
+	type fixup struct {
+		lo, hi int
+		mfns   []MFN
 	}
-	// On any failure, release the partially-built child (dropping its
-	// sharer references and freeing its private frames) so a clone that
-	// dies of memory pressure leaves no trace.
+	var fixups []fixup
+	done := 0 // entries below this index have taken their child references
 	fail := func(err error) (*Space, CloneStats, error) {
-		child.release()
+		// Unwind the half-built child: shared extents are reconstructed
+		// from the parent's entries, private frames from the fixups.
+		// ReleaseN gives them the same dispatch child.release() would
+		// (drop a sharer reference, free an owned frame).
+		var undo []MFN
+		for i := 0; i < done; i++ {
+			p := &s.ptes[i]
+			if p.present && (p.kind == KindIDC || p.kind == KindRegular) {
+				undo = append(undo, p.mfn)
+			}
+		}
+		for _, fx := range fixups {
+			undo = append(undo, fx.mfns...)
+		}
+		s.mem.ReleaseN(childDom, undo)
 		return nil, st, err
 	}
 
-	for i := range s.ptes {
-		p := &s.ptes[i]
+	// Walk the space as run-length extents of identical (kind, writable,
+	// cow) state. Each run costs one Memory lock acquisition and one meter
+	// charge regardless of its length, so the clone hot path is
+	// proportional to the number of extents plus the number of private
+	// pages, not the total page count. The per-page dispatch inside the
+	// batched operations is identical to the sequential one, so virtual
+	// time and CloneStats are unchanged.
+	var run []MFN
+	for lo := 0; lo < len(s.ptes); {
+		p := &s.ptes[lo]
 		if !p.present {
+			lo++
 			continue
 		}
-		cp := pte{present: true, writable: p.writable, kind: p.kind}
+		hi := lo + 1
+		for hi < len(s.ptes) {
+			q := &s.ptes[hi]
+			if !q.present || q.kind != p.kind || q.writable != p.writable || q.cow != p.cow {
+				break
+			}
+			hi++
+		}
+		n := hi - lo
+		ext := s.ptes[lo:hi]
+
 		switch p.kind {
 		case KindIDC:
 			// Genuinely shared, never COW: both sides keep writing
-			// to the same frame (§5.2.2).
-			if owner, err := s.mem.Owner(p.mfn); err == nil && owner == DomIDCOW {
-				if err := s.mem.AddSharer(p.mfn, 1); err != nil {
-					return fail(err)
-				}
-			} else if err := s.mem.Share(s.dom, p.mfn, 2, meter); err != nil {
+			// to the same frame (§5.2.2). sharePTEs adds a reference
+			// to frames dom_cow already owns and transfers the rest,
+			// the same dispatch the per-page path made through Owner +
+			// AddSharer/Share.
+			if err := s.mem.sharePTEs(s.dom, ext, 2, meter); err != nil {
 				return fail(err)
 			}
-			cp.mfn = p.mfn
-			st.SharedPages++
+			st.SharedPages += n
 		case KindRegular:
 			// Share between parent and child. Writable pages are
 			// marked COW on both ends; read-only pages (text) are
 			// shared with no fault cost ever.
 			if p.cow {
-				// Already family-shared from an earlier clone:
-				// just add the child as a sharer.
-				if err := s.mem.AddSharer(p.mfn, 1); err != nil {
+				// Already family-shared from an earlier clone: the
+				// whole extent is one batched sharer bump. This is
+				// the 2nd..Nth-clone fast path.
+				if err := s.mem.addSharerPTEs(ext, 1); err != nil {
 					return fail(err)
 				}
 			} else {
-				if err := s.mem.Share(s.dom, p.mfn, 2, meter); err != nil {
+				if err := s.mem.sharePTEs(s.dom, ext, 2, meter); err != nil {
 					return fail(err)
 				}
 				if p.writable {
-					p.cow = true
+					for i := range ext {
+						ext[i].cow = true
+					}
 				}
 			}
-			cp.mfn = p.mfn
-			cp.cow = p.writable
-			st.SharedPages++
+			st.SharedPages += n
 		case KindConsole, KindXenstore:
 			// Fresh zeroed frames: the child console/xenstore rings
 			// start empty.
-			mfn, err := s.mem.Alloc(childDom, meter)
+			mfns, err := s.mem.AllocN(childDom, n, meter)
 			if err != nil {
 				return fail(err)
 			}
-			cp.mfn = mfn
-			st.PrivateFresh++
+			fixups = append(fixups, fixup{lo: lo, hi: hi, mfns: mfns})
+			st.PrivateFresh += n
 		case KindIORing:
-			mfn, err := s.mem.Alloc(childDom, meter)
+			mfns, err := s.mem.AllocN(childDom, n, meter)
 			if err != nil {
 				return fail(err)
 			}
 			if copyRing {
-				if err := s.mem.CopyFrame(mfn, p.mfn, meter); err != nil {
+				run = appendMFNs(run[:0], ext)
+				if err := s.mem.CopyFrameN(mfns, run, meter); err != nil {
+					s.mem.ReleaseN(childDom, mfns)
 					return fail(err)
 				}
-				st.PrivateCopies++
+				st.PrivateCopies += n
 			} else {
-				st.PrivateFresh++
+				st.PrivateFresh += n
 			}
-			cp.mfn = mfn
+			fixups = append(fixups, fixup{lo: lo, hi: hi, mfns: mfns})
 		default: // KindPageTable, KindStartInfo, KindP2M: copy + rewrite
-			mfn, err := s.mem.Alloc(childDom, meter)
+			mfns, err := s.mem.AllocN(childDom, n, meter)
 			if err != nil {
 				return fail(err)
 			}
-			if err := s.mem.CopyFrame(mfn, p.mfn, meter); err != nil {
+			run = appendMFNs(run[:0], ext)
+			if err := s.mem.CopyFrameN(mfns, run, meter); err != nil {
+				s.mem.ReleaseN(childDom, mfns)
 				return fail(err)
 			}
-			cp.mfn = mfn
-			st.PrivateCopies++
+			fixups = append(fixups, fixup{lo: lo, hi: hi, mfns: mfns})
+			st.PrivateCopies += n
 		}
-		child.ptes[i] = cp
-		st.PTEntries++
-		st.P2MEntries++
+		st.PTEntries += n
+		st.P2MEntries += n
+		// Only regular writable pages are COW in the child; any other
+		// extent carrying a (stale) COW bit must not pass it on.
+		if p.cow && !(p.kind == KindRegular && p.writable) {
+			fixups = append(fixups, fixup{lo: lo, hi: hi})
+		}
+		done = hi
+		lo = hi
+	}
+
+	// Bulk-copy the parent's table (append avoids zeroing a slice that is
+	// about to be fully overwritten) and patch in the private mappings.
+	child := &Space{
+		mem:  s.mem,
+		dom:  childDom,
+		ptes: append([]pte(nil), s.ptes...),
+	}
+	for _, fx := range fixups {
+		if fx.mfns == nil {
+			for i := fx.lo; i < fx.hi; i++ {
+				child.ptes[i].cow = false
+			}
+			continue
+		}
+		for i, mfn := range fx.mfns {
+			child.ptes[fx.lo+i].mfn = mfn
+		}
 	}
 
 	// Rebuild the child's page-table and p2m metadata frames. This is
@@ -444,11 +527,13 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 	var err error
 	child.ptFrames, err = s.mem.AllocN(childDom, PTFrameCount(len(s.ptes)), meter)
 	if err != nil {
-		return fail(err)
+		child.release()
+		return nil, st, err
 	}
 	child.p2mFrames, err = s.mem.AllocN(childDom, P2MFrameCount(len(s.ptes)), meter)
 	if err != nil {
-		return fail(err)
+		child.release()
+		return nil, st, err
 	}
 	st.MetaFrames = len(child.ptFrames) + len(child.p2mFrames)
 	if meter != nil {
@@ -456,6 +541,14 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 		meter.Charge(meter.Costs().P2MEntryClone, st.P2MEntries)
 	}
 	return child, st, nil
+}
+
+// appendMFNs appends the frame numbers of a run of entries to dst.
+func appendMFNs(dst []MFN, ptes []pte) []MFN {
+	for i := range ptes {
+		dst = append(dst, ptes[i].mfn)
+	}
+	return dst
 }
 
 // MarkAllCOW re-protects every currently-shared regular page in this space
@@ -481,6 +574,7 @@ func (s *Space) TakeDirty() []PFN {
 	defer s.mu.Unlock()
 	out := s.dirty
 	s.dirty = nil
+	s.dirtySet = nil
 	return out
 }
 
@@ -516,36 +610,60 @@ func (s *Space) release() error {
 	if s.retired {
 		return nil
 	}
-	var firstErr error
-	keep := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
+	// One batched pass over everything the space holds: shared frames drop
+	// a reference, owned frames are freed, frames owned by another domain
+	// are left alone — the same per-frame dispatch the old per-page
+	// Owner/DropShared/Free sequence made, under a single Memory lock.
+	mfns := make([]MFN, 0, len(s.ptes)+len(s.ptFrames)+len(s.p2mFrames))
 	for i := range s.ptes {
 		p := &s.ptes[i]
 		if !p.present {
 			continue
 		}
-		owner, err := s.mem.Owner(p.mfn)
-		if err != nil {
-			keep(err)
-			continue
-		}
-		if owner == DomIDCOW {
-			keep(s.mem.DropShared(p.mfn))
-		} else if owner == s.dom {
-			keep(s.mem.Free(s.dom, p.mfn))
-		}
+		mfns = append(mfns, p.mfn)
 		p.present = false
 	}
-	for _, mfn := range s.ptFrames {
-		keep(s.mem.Free(s.dom, mfn))
-	}
-	for _, mfn := range s.p2mFrames {
-		keep(s.mem.Free(s.dom, mfn))
-	}
+	mfns = append(mfns, s.ptFrames...)
+	mfns = append(mfns, s.p2mFrames...)
+	firstErr := s.mem.ReleaseN(s.dom, mfns)
 	s.ptFrames, s.p2mFrames = nil, nil
 	s.retired = true
 	return firstErr
+}
+
+// Snapshot returns the contents of every guest page, one slot per pfn, with
+// nil for pages whose backing frame has never been written (they read as
+// zeroes). The whole capture costs one Memory lock acquisition instead of a
+// page-sized Read per pfn, which is what makes save/restore cycles cheap
+// for mostly-untouched unikernel memory.
+func (s *Space) Snapshot() ([][]byte, error) {
+	s.mu.Lock()
+	if s.retired {
+		s.mu.Unlock()
+		return nil, ErrSpaceRetired
+	}
+	mfns := make([]MFN, len(s.ptes))
+	for i := range s.ptes {
+		if !s.ptes[i].present {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: pfn %d not present", ErrBadPFN, i)
+		}
+		mfns[i] = s.ptes[i].mfn
+	}
+	s.mu.Unlock()
+
+	m := s.mem
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]byte, len(mfns))
+	for i, mfn := range mfns {
+		f, err := m.frameLocked(mfn)
+		if err != nil {
+			return nil, err
+		}
+		if f.data != nil {
+			out[i] = append([]byte(nil), f.data...)
+		}
+	}
+	return out, nil
 }

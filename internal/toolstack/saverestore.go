@@ -34,16 +34,19 @@ func (x *XL) Save(id hv.DomID, meter *vclock.Meter) (*Image, error) {
 	}
 	space := dom.Space()
 	n := space.Pages()
-	img := &Image{Config: rec.Config, pages: make([][]byte, n)}
-	buf := make([]byte, mem.PageSize)
-	for pfn := 0; pfn < n; pfn++ {
-		if err := space.Read(mem.PFN(pfn), 0, buf); err != nil {
-			return nil, fmt.Errorf("toolstack: save pfn %d: %w", pfn, err)
-		}
-		if !allZero(buf) {
-			img.pages[pfn] = append([]byte(nil), buf...)
+	// Snapshot captures the whole space in one pass, returning nil for
+	// never-written (all-zero) frames, so only pages the guest actually
+	// touched need the zero scan and a copy into the image.
+	pages, err := space.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("toolstack: save domain %d: %w", id, err)
+	}
+	for pfn, data := range pages {
+		if data != nil && allZero(data) {
+			pages[pfn] = nil
 		}
 	}
+	img := &Image{Config: rec.Config, pages: pages}
 	if meter != nil {
 		meter.Charge(meter.Costs().ImagePageSave, n)
 	}
