@@ -32,9 +32,12 @@ type record struct {
 }
 
 type baseline struct {
-	Note       string             `json:"note,omitempty"`
-	Generated  string             `json:"generated,omitempty"`
-	Seed       map[string]float64 `json:"seed_ns_per_op,omitempty"`
+	Note      string             `json:"note,omitempty"`
+	Generated string             `json:"generated,omitempty"`
+	Seed      map[string]float64 `json:"seed_ns_per_op,omitempty"`
+	// PreShard preserves the single-mutex pool's numbers (the baseline
+	// the sharding work is measured against); -update never touches it.
+	PreShard   map[string]float64 `json:"pre_shard_ns_per_op,omitempty"`
 	Benchmarks map[string]record  `json:"benchmarks"`
 }
 
@@ -42,12 +45,20 @@ type baseline struct {
 //
 //	BenchmarkSpaceClone/first-4MB-8   3   15516 ns/op   16576 B/op   4 allocs/op
 //
-// The trailing -N is the GOMAXPROCS suffix and is stripped so recorded
-// names do not depend on the machine's core count.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
+// The trailing -N is the GOMAXPROCS suffix. It is stripped from the
+// recorded name so baselines do not depend on the machine's core count,
+// but kept aside: when the input holds the same benchmark at several -cpu
+// values (go test -cpu 1,8), the per-benchmark parallel speedup is
+// reported alongside the comparison.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
 
-func parseBench(r io.Reader) (map[string]record, error) {
+// parseBench reads benchmark lines, returning one record per stripped name
+// (the lowest -cpu run, so numbers stay comparable with baselines recorded
+// on any core count) plus the per-cpu ns/op map for the speedup report.
+func parseBench(r io.Reader) (map[string]record, map[string]map[int]float64, error) {
 	out := make(map[string]record)
+	cpus := make(map[string]map[int]float64)
+	low := make(map[string]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -55,17 +66,61 @@ func parseBench(r io.Reader) (map[string]record, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
-		rec := record{NsPerOp: ns}
-		if m[3] != "" {
-			rec.AllocsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		cpu := 1
+		if m[2] != "" {
+			cpu, _ = strconv.Atoi(m[2])
 		}
-		out[m[1]] = rec
+		name := m[1]
+		if cpus[name] == nil {
+			cpus[name] = make(map[int]float64)
+		}
+		cpus[name][cpu] = ns
+		if prev, seen := low[name]; seen && prev <= cpu {
+			continue
+		}
+		low[name] = cpu
+		rec := record{NsPerOp: ns}
+		if m[4] != "" {
+			rec.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		out[name] = rec
 	}
-	return out, sc.Err()
+	return out, cpus, sc.Err()
+}
+
+// reportSpeedups prints ns/op ratios between the lowest and highest -cpu
+// runs of every benchmark measured at more than one GOMAXPROCS (e.g.
+// -cpu 1,8): >1 means the benchmark got faster with more cores.
+func reportSpeedups(cpus map[string]map[int]float64) {
+	names := make([]string, 0, len(cpus))
+	for name, byCPU := range cpus {
+		if len(byCPU) > 1 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("parallel speedup (lowest vs highest -cpu):")
+	for _, name := range names {
+		byCPU := cpus[name]
+		lo, hi := -1, -1
+		for c := range byCPU {
+			if lo == -1 || c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		fmt.Printf("%-55s cpu=%-2d %14.0f ns/op  cpu=%-2d %14.0f ns/op  %.2fx\n",
+			name, lo, byCPU[lo], hi, byCPU[hi], byCPU[lo]/byCPU[hi])
+	}
 }
 
 func main() {
@@ -84,7 +139,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	got, err := parseBench(in)
+	got, cpus, err := parseBench(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -148,6 +203,7 @@ func main() {
 		}
 		fmt.Printf("%-55s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, b.NsPerOp, g.NsPerOp, delta*100, status)
 	}
+	reportSpeedups(cpus)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d benchmarks regressed more than %.0f%%\n",
 			regressions, len(names), *threshold*100)

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11 or 'all'")
+	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11, 'mp' (multi-parent throughput) or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write one CSV per series into this directory (for plotting)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
@@ -59,8 +59,9 @@ func main() {
 		"9":  runFig9,
 		"10": runFig10,
 		"11": runFig11,
+		"mp": runMultiParent,
 	}
-	order := []string{"4", "5", "6", "7", "8", "9", "10", "11"}
+	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "mp"}
 
 	var selected []string
 	if *figFlag == "all" {
@@ -159,6 +160,14 @@ func runFig6(quick bool) (*bench.Figure, error) {
 		cfg.SizesMB = []int{1, 4, 16, 64, 256, 1024}
 	}
 	return bench.Fig6(cfg)
+}
+
+func runMultiParent(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultMultiParent()
+	if quick {
+		cfg.Parents, cfg.Rounds = []int{1, 4}, 5
+	}
+	return bench.MultiParent(cfg)
 }
 
 func runFig7(quick bool) (*bench.Figure, error) {

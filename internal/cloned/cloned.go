@@ -264,6 +264,31 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 	return served, errors.Join(errSlots...)
 }
 
+// CloneAll drives one multi-parent scheduling round end to end: the
+// batched first stage (hv.CloneOpCloneBatch) admits every request, a
+// single ServeAll drains the notification ring for all the rounds'
+// children at once — its per-parent worker pool is exactly the "ServeAll
+// feeding from multi-parent rounds" shape — and the round completes when
+// every admitted parent's Done channel closes (all parents resumed).
+//
+// The returned slice is positionally parallel to reqs; each entry carries
+// that request's children, stats and first-stage error. served counts the
+// second stages completed across the whole round, and the error joins the
+// second-stage failures (first-stage failures stay in their entry's Err).
+// meter receives the ServeAll charges; each request's first-stage virtual
+// time goes to its own CloneRequest.Meter, so batching never leaks charges
+// between parents.
+func (d *Daemon) CloneAll(reqs []hv.CloneRequest, meter *vclock.Meter) ([]hv.CloneBatchResult, int, error) {
+	results := d.HV.CloneOpCloneBatch(reqs)
+	served, err := d.ServeAll(meter)
+	for _, r := range results {
+		if r.Done != nil {
+			<-r.Done
+		}
+	}
+	return results, served, err
+}
+
 // reservePins pre-assigns pin bases for every child in notification order,
 // so the round-robin core assignment does not depend on which worker
 // serves which parent group first.

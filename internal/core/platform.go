@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -181,6 +182,10 @@ type CloneResult struct {
 	Total vclock.Duration
 	// Stats is the hypervisor-side work breakdown.
 	Stats *hv.CloneOpStats
+	// Err is set on entries of a CloneMany round whose request failed
+	// first-stage admission (always nil from Clone, which returns the
+	// error directly).
+	Err error
 }
 
 // Clone clones a running domain n times: the complete two-stage Nephele
@@ -225,6 +230,67 @@ func (p *Platform) Clone(caller, target DomID, n int, meter *vclock.Meter) (*Clo
 			target, len(res.Failed), len(kids), serveErr)
 	}
 	return res, nil
+}
+
+// CloneMany clones several independent running domains in one multi-parent
+// scheduling round — the FaaS/NGINX autoscaling scenario (§7), where many
+// parents fork at once. The first stage admits every request in order into
+// one bounded worker pool (hv.CloneOpCloneBatch) and a single ServeAll
+// drains all the children's second stages together.
+//
+// Each request charges its own CloneRequest.Meter (one is created when
+// nil), so any single parent's virtual-time output is identical to calling
+// Clone alone; meter receives only the shared second-stage charges, which
+// every returned CloneResult reports as its SecondStage. The returned
+// slice is positionally parallel to reqs; an entry whose request failed
+// admission has only Err set. The error joins admission and second-stage
+// failures.
+func (p *Platform) CloneMany(reqs []hv.CloneRequest, meter *vclock.Meter) ([]*CloneResult, error) {
+	if meter == nil {
+		meter = p.NewMeter()
+	}
+	for i := range reqs {
+		if reqs[i].Meter == nil {
+			reqs[i].Meter = p.NewMeter()
+		}
+	}
+	starts := make([]vclock.Duration, len(reqs))
+	for i := range reqs {
+		starts[i] = reqs[i].Meter.Elapsed()
+	}
+	secondStart := meter.Elapsed()
+	batch, _, serveErr := p.Cloned.CloneAll(reqs, meter)
+	second := meter.Elapsed() - secondStart
+
+	errs := []error{serveErr}
+	out := make([]*CloneResult, len(reqs))
+	for i, b := range batch {
+		if b.Err != nil {
+			out[i] = &CloneResult{Err: b.Err}
+			errs = append(errs, fmt.Errorf("core: clone of %d: %w", reqs[i].Target, b.Err))
+			continue
+		}
+		res := &CloneResult{
+			FirstStage:  b.Stats.FirstStage,
+			SecondStage: second,
+			Total:       reqs[i].Meter.Elapsed() - starts[i] + second,
+			Stats:       b.Stats,
+		}
+		for _, k := range b.Children {
+			if outc, ok := p.HV.CloneOutcome(k); ok && outc == hv.OutcomeAborted {
+				res.Failed = append(res.Failed, k)
+				continue
+			}
+			res.Children = append(res.Children, k)
+		}
+		p.mu.Lock()
+		for _, k := range res.Children {
+			p.cloneTotals[k] = res.Total
+		}
+		p.mu.Unlock()
+		out[i] = res
+	}
+	return out, errors.Join(errs...)
 }
 
 // CloneTotal reports the recorded total clone latency for a child.

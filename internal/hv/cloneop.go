@@ -75,6 +75,27 @@ func (h *Hypervisor) SetCloningEnabled(on bool) {
 	h.cloningEnabled = on
 }
 
+// CloneRequest is one parent's CLONEOP in a multi-parent scheduling round.
+// Caller is the domain invoking the hypercall (the parent itself, or Dom0
+// on its behalf); Target is the parent to clone N times. Meter carries the
+// request's virtual time; a nil Meter gets a throwaway one.
+type CloneRequest struct {
+	Caller   DomID
+	Target   DomID
+	N        int
+	CopyRing bool
+	Meter    *vclock.Meter
+}
+
+// CloneBatchResult is the per-request outcome of a scheduling round, field
+// for field what CloneOpClone returns for that request alone.
+type CloneBatchResult struct {
+	Children []DomID
+	Stats    *CloneOpStats
+	Done     <-chan struct{}
+	Err      error
+}
+
 // CloneOpClone is the clone subcommand of the CLONEOP hypercall: it runs
 // the first stage of cloning for the calling domain (or, when invoked from
 // Dom0, for an explicitly named domain — e.g. for VM fuzzing), creating n
@@ -88,62 +109,176 @@ func (h *Hypervisor) SetCloningEnabled(on bool) {
 // tagged KindIORing (network rings are copied; the console ring page is a
 // distinct kind and always fresh).
 //
-// The n children are built concurrently on a bounded worker pool, each
-// charging a private meter; the results are then merged in child order.
-// Virtual time is a commutative sum of charges and the per-child stats are
-// aggregated in the same order as the old sequential loop, so the caller's
-// meter, the returned CloneOpStats and the notification order are identical
-// to a sequential run (see DESIGN.md "Fast path" for the argument).
+// It is a scheduling round of one: see CloneOpCloneBatch for the
+// admission/build/merge structure and the determinism argument.
 func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bool, meter *vclock.Meter) ([]DomID, *CloneOpStats, <-chan struct{}, error) {
+	r := h.CloneOpCloneBatch([]CloneRequest{{Caller: caller, Target: target, N: n, CopyRing: copyRing, Meter: meter}})[0]
+	return r.Children, r.Stats, r.Done, r.Err
+}
+
+// CloneOpCloneBatch admits CLONEOPs from several independent parents into
+// one scheduling round. The round has three phases:
+//
+//  1. Admission, strictly in request order: each request charges its
+//     hypercall, validates cloning policy and budget, pauses its parent,
+//     reserves its child ID range and consults the fault gate — so domain
+//     numbering and fault hit counts are deterministic functions of the
+//     request order, never of build timing.
+//  2. Build: the children of every admitted request go through ONE bounded
+//     worker pool (GOMAXPROCS wide), each built against a private meter.
+//     Independent parents' children interleave freely here; with the
+//     sharded frame pool their memory operations lock disjoint shards.
+//  3. Merge, per request in admission order: each request's child meters,
+//     stats, family links and notifications merge in child order onto that
+//     request's own meter, exactly as the sequential loop would.
+//
+// Each request's meter only ever receives that request's charges, so the
+// virtual-time output of any single request is byte-identical to running
+// it alone (the golden-series figures are insensitive to batching), while
+// the wall-clock cost of the round is one pool-wide fan-out.
+func (h *Hypervisor) CloneOpCloneBatch(reqs []CloneRequest) []CloneBatchResult {
+	adms := make([]cloneAdmission, len(reqs))
+	jobs := 0
+	for i := range reqs {
+		adms[i].req = reqs[i]
+		h.admitClone(&adms[i])
+		if adms[i].err == nil {
+			jobs += adms[i].attempt
+		}
+	}
+
+	// One bounded worker pool across every admitted request's children.
+	type job struct {
+		a *cloneAdmission
+		i int
+	}
+	list := make([]job, 0, jobs)
+	for ai := range adms {
+		if adms[ai].err != nil {
+			continue
+		}
+		for i := 0; i < adms[ai].attempt; i++ {
+			list = append(list, job{a: &adms[ai], i: i})
+		}
+	}
+	buildOne := func(j job) {
+		cm := vclock.NewMeter(j.a.meter.Costs())
+		child, st, err := h.cloneOne(j.a.parent, j.a.ids[j.i], j.a.req.CopyRing, cm)
+		j.a.results[j.i] = cloneResult{child: child, st: st, meter: cm, err: err}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(list) {
+		workers = len(list)
+	}
+	if workers <= 1 {
+		for _, j := range list {
+			buildOne(j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan job)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range work {
+					buildOne(j)
+				}
+			}()
+		}
+		for _, j := range list {
+			work <- j
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	out := make([]CloneBatchResult, len(reqs))
+	for i := range adms {
+		out[i] = h.finishClone(&adms[i])
+	}
+	return out
+}
+
+// cloneResult is one child's build outcome, carrying its private meter
+// until the in-order merge.
+type cloneResult struct {
+	child *Domain
+	st    *CloneOpStats
+	meter *vclock.Meter
+	err   error
+}
+
+// cloneAdmission is one request's validated, ID-reserved seat in a
+// scheduling round.
+type cloneAdmission struct {
+	req     CloneRequest
+	meter   *vclock.Meter
+	parent  *Domain
+	start   vclock.Duration
+	ids     []DomID
+	attempt int // children to build (N, cut short by the fault gate)
+	gateErr error
+	err     error // admission failure; nothing to build or unwind
+	results []cloneResult
+}
+
+// admitClone runs the admission phase for one request: hypercall charge,
+// policy and budget validation, parent pause, child ID reservation and the
+// fault gate, in exactly the order the sequential CloneOpClone performed
+// them.
+func (h *Hypervisor) admitClone(a *cloneAdmission) {
+	meter := a.req.Meter
 	if meter == nil {
 		meter = vclock.NewMeter(nil)
 	}
+	a.meter = meter
 	meter.Charge(meter.Costs().Hypercall, 1)
 
 	h.mu.Lock()
 	enabled := h.cloningEnabled
 	h.mu.Unlock()
 	if !enabled {
-		return nil, nil, nil, fmt.Errorf("%w (global)", ErrCloningDisabled)
+		a.err = fmt.Errorf("%w (global)", ErrCloningDisabled)
+		return
 	}
-	if caller != mem.DomID0 && caller != target {
-		return nil, nil, nil, fmt.Errorf("hv: domain %d may not clone %d", caller, target)
+	if a.req.Caller != mem.DomID0 && a.req.Caller != a.req.Target {
+		a.err = fmt.Errorf("hv: domain %d may not clone %d", a.req.Caller, a.req.Target)
+		return
 	}
-	parent, err := h.Domain(target)
+	parent, err := h.Domain(a.req.Target)
 	if err != nil {
-		return nil, nil, nil, err
+		a.err = err
+		return
 	}
+	n := a.req.N
 	parent.mu.Lock()
 	if !parent.clone.enabled || parent.clone.maxClones == 0 {
 		parent.mu.Unlock()
-		return nil, nil, nil, fmt.Errorf("%w: domain %d", ErrCloningDisabled, target)
+		a.err = fmt.Errorf("%w: domain %d", ErrCloningDisabled, a.req.Target)
+		return
 	}
 	if parent.clone.made+n > parent.clone.maxClones {
 		parent.mu.Unlock()
-		return nil, nil, nil, fmt.Errorf("%w: %d made, %d requested, max %d",
+		a.err = fmt.Errorf("%w: %d made, %d requested, max %d",
 			ErrCloneLimit, parent.clone.made, n, parent.clone.maxClones)
+		return
 	}
 	parent.clone.made += n
 	parent.mu.Unlock()
+	a.parent = parent
 
 	// The parent is paused until the completion of the second stage so
 	// its state stays consistent for all its clones (§5).
 	parent.pause()
-
-	start := meter.Elapsed()
-	stats := &CloneOpStats{}
-	refundBudget := func(created int) {
-		parent.mu.Lock()
-		parent.clone.made -= n - created
-		parent.mu.Unlock()
-	}
+	a.start = meter.Elapsed()
 
 	// Reserve the child IDs up front so concurrent construction cannot
 	// reorder domain numbering.
-	ids := make([]DomID, n)
+	a.ids = make([]DomID, n)
 	h.mu.Lock()
-	for i := range ids {
-		ids[i] = h.nextDom
+	for i := range a.ids {
+		a.ids[i] = h.nextDom
 		h.nextDom++
 	}
 	h.mu.Unlock()
@@ -151,66 +286,33 @@ func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bo
 	// Fault-injection gate, consulted in child order before any parallel
 	// work so per-point hit counts fire against the same child index as
 	// the sequential loop.
-	attempt := n
-	var gateErr error
+	a.attempt = n
 	for i := 0; i < n; i++ {
 		if err := h.Faults().Check(fault.PointHVCloneOne); err != nil {
-			attempt, gateErr = i, err
+			a.attempt, a.gateErr = i, err
 			break
 		}
 	}
+	a.results = make([]cloneResult, a.attempt)
+}
 
-	// Build the children concurrently, each against a private meter.
-	type cloneResult struct {
-		child *Domain
-		st    *CloneOpStats
-		meter *vclock.Meter
-		err   error
+// finishClone runs the merge phase for one request: meters, stats, the
+// family links and the notification ring all observe the sequential child
+// ordering. The first failure wins (like the sequential loop stopping
+// there); speculative successes past it are torn down with no virtual-time
+// charge, since a sequential run would never have built them.
+func (h *Hypervisor) finishClone(a *cloneAdmission) CloneBatchResult {
+	if a.err != nil {
+		return CloneBatchResult{Err: a.err}
 	}
-	results := make([]cloneResult, attempt)
-	buildOne := func(i int) {
-		cm := vclock.NewMeter(meter.Costs())
-		child, st, err := h.cloneOne(parent, ids[i], copyRing, cm)
-		results[i] = cloneResult{child: child, st: st, meter: cm, err: err}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > attempt {
-		workers = attempt
-	}
-	if workers <= 1 {
-		for i := 0; i < attempt; i++ {
-			buildOne(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					buildOne(i)
-				}
-			}()
-		}
-		for i := 0; i < attempt; i++ {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
-	}
-
-	// Merge in child order: meters, stats, the family links and the
-	// notification ring all observe the sequential ordering. The first
-	// failure wins (like the sequential loop stopping there); speculative
-	// successes past it are torn down with no virtual-time charge, since
-	// a sequential run would never have built them.
+	meter, parent, n := a.meter, a.parent, a.req.N
+	stats := &CloneOpStats{}
 	children := make([]DomID, 0, n)
 	var waits []chan struct{}
 	var retErr error
-	usedIDs := attempt // IDs a sequential run would have consumed
-	for i := 0; i < attempt; i++ {
-		r := results[i]
+	usedIDs := a.attempt // IDs a sequential run would have consumed
+	for i := 0; i < a.attempt; i++ {
+		r := a.results[i]
 		if retErr != nil {
 			if r.err == nil {
 				h.DestroyDomain(r.child.ID, nil)
@@ -250,26 +352,28 @@ func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bo
 		children = append(children, r.child.ID)
 		waits = append(waits, wait)
 	}
-	if retErr == nil && gateErr != nil {
+	if retErr == nil && a.gateErr != nil {
 		// Every child before the fault-gate failure succeeded; the gate
 		// itself is the first failure, exactly where the sequential loop
 		// would have stopped.
-		retErr = gateErr
+		retErr = a.gateErr
 	}
 	if retErr != nil {
 		// Return unused reserved IDs when no concurrent caller took more
 		// in the meantime, so failure paths consume the same ID range as
 		// a sequential run.
 		h.mu.Lock()
-		if h.nextDom == ids[n-1]+1 {
-			h.nextDom = ids[0] + DomID(usedIDs)
+		if h.nextDom == a.ids[n-1]+1 {
+			h.nextDom = a.ids[0] + DomID(usedIDs)
 		}
 		h.mu.Unlock()
-		refundBudget(len(children))
+		parent.mu.Lock()
+		parent.clone.made -= n - len(children)
+		parent.mu.Unlock()
 		parent.unpause()
-		return children, stats, nil, retErr
+		return CloneBatchResult{Children: children, Stats: stats, Err: retErr}
 	}
-	stats.FirstStage = meter.Lap(start)
+	stats.FirstStage = meter.Lap(a.start)
 	h.Events.RaiseVIRQ(evtchn.VIRQCloned, meter)
 
 	done := make(chan struct{})
@@ -280,7 +384,7 @@ func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bo
 		parent.unpause()
 		close(done)
 	}()
-	return children, stats, done, nil
+	return CloneBatchResult{Children: children, Stats: stats, Done: done}
 }
 
 // cloneOne performs the hypervisor first stage for a single child with a

@@ -9,7 +9,9 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"nephele/internal/vclock"
 )
@@ -72,71 +74,426 @@ type frame struct {
 	data     []byte
 }
 
+// Shard sizing. The pool is split into at most MaxShards contiguous
+// MFN-range shards (a power of two); pools too small to give every shard
+// minFramesPerShard collapse to fewer shards so tiny test pools stay
+// single-lock and fully deterministic.
+const (
+	// MaxShards is the upper bound on the shard count (power of two).
+	MaxShards = 16
+	// minFramesPerShard keeps shards from becoming so small that a single
+	// guest straddles many of them (4096 frames = 16 MiB).
+	minFramesPerShard = 4096
+)
+
+// shard is one MFN-range slice of the pool with its own lock, free list,
+// watermark recycler and accounting. A frame's metadata lives in exactly
+// one shard (the one covering its MFN), so per-domain usage and the
+// dom_cow sharer table are naturally partitioned. The struct is padded to
+// a multiple of the cache line size: shards live in one slice, and without
+// padding two neighbours' mutexes would share a line and bounce it between
+// cores even when the workloads are disjoint.
+type shard struct {
+	mu sync.Mutex
+
+	lo   MFN // first MFN of the range
+	size int // frames in the range (0 for tail shards past the pool end)
+
+	frames    []frame // metadata indexed by mfn-lo, grown lazily
+	watermark int     // frames handed out from the range start
+	recycled  []MFN   // freed frames, reused LIFO
+	usedByDom map[DomID]int
+
+	// free and shared mirror the lock-held state so aggregate readers
+	// (FreeFrames, SharedFrames) can sum them without taking every lock;
+	// they are only mutated under mu, bracketed by the pool's seqlock.
+	free   atomic.Int64
+	shared atomic.Int64
+
+	_ [24]byte // pad to 128 bytes
+}
+
 // Memory is the machine memory pool. All methods are safe for concurrent
 // use by multiple simulated domains.
 //
-// Frame metadata is materialized lazily: frames above the allocation
+// The pool is sharded: MFNs are split into contiguous power-of-two-count
+// ranges, each with its own mutex, free list, watermark/LIFO recycler and
+// ownership accounting, so concurrent clones of different parents lock
+// disjoint shards instead of serializing on one pool mutex. Operations on
+// frame runs lock only the shards the run touches, always in ascending
+// shard order (the pool-wide lock order, see DESIGN.md §10), and
+// cross-shard runs split at shard boundaries. Global counters (free
+// frames, dom_cow frames) are per-shard atomics aggregated under a
+// seqlock-style read path so aggregate reads stay one coherent pass.
+//
+// Frame metadata is materialized lazily: frames above a shard's allocation
 // watermark have never existed, so creating a multi-GiB pool costs nothing
-// until frames are handed out. Allocation order is deterministic and
-// identical to a LIFO free list seeded low-to-high: the most recently freed
-// frame is reused first, otherwise the lowest never-allocated MFN goes out.
+// until frames are handed out. Allocation is deterministic given the
+// operation sequence: a domain allocates from its home shard (dom modulo
+// shard count) first — recycled frames LIFO, then the lowest
+// never-allocated MFN of the range — and overflows to the next shards in
+// ascending wrap-around order.
 type Memory struct {
-	mu        sync.Mutex
-	total     int     // pool size in frames
-	frames    []frame // metadata, grown lazily; len(frames) >= int(watermark)
-	watermark MFN     // lowest MFN never handed out
-	recycled  []MFN   // freed frames, reused LIFO
-	usedByDom map[DomID]int // frames charged to each owner (dom_cow pages charge dom_cow)
-	sharedCnt int           // frames currently owned by dom_cow
+	total  int  // pool size in frames
+	stride int  // frames per shard range (power of two)
+	shift  uint // log2(stride): MFN → shard index is one shift
+	shards []shard
+
+	// accSeq is bumped (to odd, then back to even is NOT guaranteed with
+	// concurrent writers — readers use plain equality) around every
+	// counter mutation; aggregate readers retry while it moves.
+	accSeq atomic.Uint64
 }
 
 // New creates a machine memory pool of totalBytes (rounded down to whole
-// frames).
+// frames). The shard count is always a power of two and the stride is
+// rounded up to a power of two, so mapping an MFN to its shard is a single
+// shift on the clone hot path; when the total is not a multiple of the
+// stride, tail shards cover a short or empty range.
 func New(totalBytes uint64) *Memory {
-	return &Memory{
-		total:     int(totalBytes / PageSize),
-		usedByDom: make(map[DomID]int),
+	total := int(totalBytes / PageSize)
+	nsh := 1
+	for nsh < MaxShards && total/(nsh*2) >= minFramesPerShard {
+		nsh *= 2
+	}
+	per := (total + nsh - 1) / nsh
+	if per < 1 {
+		per = 1
+	}
+	shift := uint(bits.Len(uint(per - 1))) // ceil(log2(per))
+	stride := 1 << shift
+	m := &Memory{total: total, stride: stride, shift: shift, shards: make([]shard, nsh)}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.lo = MFN(i * stride)
+		sh.size = 0
+		if rest := total - i*stride; rest > 0 {
+			sh.size = stride
+			if rest < stride {
+				sh.size = rest
+			}
+		}
+		sh.usedByDom = make(map[DomID]int)
+		sh.free.Store(int64(sh.size))
+	}
+	return m
+}
+
+// Shards reports the number of MFN-range shards the pool is split into.
+func (m *Memory) Shards() int { return len(m.shards) }
+
+// shardIdx maps an in-range MFN to its shard index.
+func (m *Memory) shardIdx(mfn MFN) int { return int(mfn >> m.shift) }
+
+// shardChecked returns the shard covering mfn, or ErrBadFrame.
+func (m *Memory) shardChecked(mfn MFN) (*shard, error) {
+	if int(mfn) >= m.total {
+		return nil, fmt.Errorf("%w: %d", ErrBadFrame, mfn)
+	}
+	return &m.shards[m.shardIdx(mfn)], nil
+}
+
+// frameAt returns the frame metadata for mfn. The shard covering mfn must
+// be locked by the caller.
+func (m *Memory) frameAt(mfn MFN) (*frame, error) {
+	if int(mfn) >= m.total {
+		return nil, fmt.Errorf("%w: %d", ErrBadFrame, mfn)
+	}
+	sh := &m.shards[m.shardIdx(mfn)]
+	idx := int(mfn - sh.lo)
+	if idx >= len(sh.frames) || !sh.frames[idx].inUse {
+		return nil, fmt.Errorf("%w: %d", ErrDoubleFree, mfn)
+	}
+	return &sh.frames[idx], nil
+}
+
+// segment is a contiguous frame-index range [a, b) within one shard — the
+// unit the batched run operations work in. Input runs are split at MFN
+// discontinuities and at shard boundaries before any lock is taken, so the
+// per-frame loops inside the critical sections are plain walks over a
+// shard's frame array with no per-frame index math, as cheap as the
+// pre-shard single-array code.
+type segment struct {
+	sh   *shard
+	si   int // shard index, for per-shard accounting arrays
+	a, b int // frame-index range within sh.frames
+}
+
+// segStack sizes the callers' on-stack segment buffers; a clone of a
+// non-fragmented space produces a handful of segments, so the buffer
+// almost never spills.
+const segStack = 24
+
+// frames returns the materialized slice of the segment's frames and whether
+// the segment extends past the shard's watermark-grown array (those trailing
+// frames have never been allocated, i.e. they are not in use).
+func (sg segment) frames() ([]frame, bool) {
+	fr := sg.sh.frames
+	if sg.b <= len(fr) {
+		return fr[sg.a:sg.b], false
+	}
+	if sg.a >= len(fr) {
+		return nil, true
+	}
+	return fr[sg.a:], true
+}
+
+// mfn returns the machine frame number of the segment's j-th frame.
+func (sg segment) mfn(j int) MFN { return sg.sh.lo + MFN(sg.a+j) }
+
+// segmentsMFNs splits a run of MFNs into contiguous same-shard segments,
+// accumulating the shard lock mask. An out-of-range MFN fails the whole
+// call (the callers' validate-before-mutate contract).
+func (m *Memory) segmentsMFNs(mfns []MFN, segs []segment) ([]segment, uint32, error) {
+	var mask uint32
+	for lo := 0; lo < len(mfns); {
+		start := mfns[lo]
+		if int(start) >= m.total {
+			return nil, 0, fmt.Errorf("%w: %d", ErrBadFrame, start)
+		}
+		si := int(start >> m.shift)
+		sh := &m.shards[si]
+		mask |= 1 << si
+		end := start + 1
+		lim := sh.lo + MFN(sh.size)
+		hi := lo + 1
+		for hi < len(mfns) && end < lim && mfns[hi] == end {
+			hi++
+			end++
+		}
+		segs = append(segs, segment{sh: sh, si: si, a: int(start - sh.lo), b: int(end - sh.lo)})
+		lo = hi
+	}
+	return segs, mask, nil
+}
+
+// segmentsPTEs is segmentsMFNs over the frames referenced by a run of
+// page-table entries, so the clone hot path never materializes an MFN list.
+func (m *Memory) segmentsPTEs(ptes []pte, segs []segment) ([]segment, uint32, error) {
+	var mask uint32
+	for lo := 0; lo < len(ptes); {
+		start := ptes[lo].mfn
+		if int(start) >= m.total {
+			return nil, 0, fmt.Errorf("%w: %d", ErrBadFrame, start)
+		}
+		si := int(start >> m.shift)
+		sh := &m.shards[si]
+		mask |= 1 << si
+		end := start + 1
+		lim := sh.lo + MFN(sh.size)
+		hi := lo + 1
+		for hi < len(ptes) && end < lim && ptes[hi].mfn == end {
+			hi++
+			end++
+		}
+		segs = append(segs, segment{sh: sh, si: si, a: int(start - sh.lo), b: int(end - sh.lo)})
+		lo = hi
+	}
+	return segs, mask, nil
+}
+
+// segmentsSkipBad is segmentsMFNs under ReleaseN's skip-and-record rules:
+// out-of-range MFNs are dropped from the segments and the first such error
+// is returned alongside them instead of failing the call.
+func (m *Memory) segmentsSkipBad(mfns []MFN, segs []segment) ([]segment, uint32, error) {
+	var mask uint32
+	var firstErr error
+	for lo := 0; lo < len(mfns); {
+		start := mfns[lo]
+		if int(start) >= m.total {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %d", ErrBadFrame, start)
+			}
+			lo++
+			continue
+		}
+		si := int(start >> m.shift)
+		sh := &m.shards[si]
+		mask |= 1 << si
+		end := start + 1
+		lim := sh.lo + MFN(sh.size)
+		hi := lo + 1
+		for hi < len(mfns) && end < lim && mfns[hi] == end {
+			hi++
+			end++
+		}
+		segs = append(segs, segment{sh: sh, si: si, a: int(start - sh.lo), b: int(end - sh.lo)})
+		lo = hi
+	}
+	return segs, mask, firstErr
+}
+
+// maskOf computes the set of shards a frame run touches as a bitmask.
+// Out-of-range MFNs are skipped (the caller's per-frame validation reports
+// them); the mask only drives locking.
+func (m *Memory) maskOf(n int, mfnAt func(int) MFN) uint32 {
+	var mask uint32
+	for i := 0; i < n; i++ {
+		if mfn := mfnAt(i); int(mfn) < m.total {
+			mask |= 1 << m.shardIdx(mfn)
+		}
+	}
+	return mask
+}
+
+// lockMask locks the shards in mask in ascending index order — the single
+// pool-wide lock order that rules out lock-order inversion between
+// Snapshot, ReleaseN and every other multi-shard operation.
+func (m *Memory) lockMask(mask uint32) {
+	for w := mask; w != 0; w &= w - 1 {
+		m.shards[bits.TrailingZeros32(w)].mu.Lock()
 	}
 }
 
-// TotalFrames reports the machine memory size in frames.
-func (m *Memory) TotalFrames() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.total
+func (m *Memory) unlockMask(mask uint32) {
+	for w := mask; w != 0; w &= w - 1 {
+		m.shards[bits.TrailingZeros32(w)].mu.Unlock()
+	}
 }
+
+// allMask covers every shard.
+func (m *Memory) allMask() uint32 { return uint32(1)<<len(m.shards) - 1 }
+
+// beginAccount / endAccount bracket mutations of the per-shard atomic
+// counters so aggregate readers retry instead of summing mid-update.
+// Readers use equality of the two loads (not parity): any in-flight writer
+// moves the sequence between them.
+func (m *Memory) beginAccount() { m.accSeq.Add(1) }
+func (m *Memory) endAccount()   { m.accSeq.Add(1) }
+
+// sumCounters aggregates one per-shard atomic across all shards under the
+// seqlock read path, falling back to locking every shard if writers never
+// leave a quiescent window.
+func (m *Memory) sumCounters(read func(*shard) int64) int {
+	for tries := 0; tries < 64; tries++ {
+		s1 := m.accSeq.Load()
+		var sum int64
+		for i := range m.shards {
+			sum += read(&m.shards[i])
+		}
+		if m.accSeq.Load() == s1 {
+			return int(sum)
+		}
+	}
+	mask := m.allMask()
+	m.lockMask(mask)
+	defer m.unlockMask(mask)
+	var sum int64
+	for i := range m.shards {
+		sum += read(&m.shards[i])
+	}
+	return int(sum)
+}
+
+// TotalFrames reports the machine memory size in frames.
+func (m *Memory) TotalFrames() int { return m.total }
 
 // FreeFrames reports the number of unallocated frames.
 func (m *Memory) FreeFrames() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.freeLenLocked()
-}
-
-func (m *Memory) freeLenLocked() int {
-	return m.total - int(m.watermark) + len(m.recycled)
-}
-
-// UsedBy reports the number of frames currently owned by dom. Frames shared
-// through dom_cow are charged to DomIDCOW.
-func (m *Memory) UsedBy(dom DomID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.usedByDom[dom]
+	return m.sumCounters(func(sh *shard) int64 { return sh.free.Load() })
 }
 
 // SharedFrames reports the number of frames owned by dom_cow.
 func (m *Memory) SharedFrames() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sharedCnt
+	return m.sumCounters(func(sh *shard) int64 { return sh.shared.Load() })
+}
+
+// UsedBy reports the number of frames currently owned by dom. Frames shared
+// through dom_cow are charged to DomIDCOW. Each shard is read under its own
+// lock; a frame's accounting lives wholly in its shard, so the sum is a
+// consistent point-in-time value per shard.
+func (m *Memory) UsedBy(dom DomID) int {
+	used := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		used += sh.usedByDom[dom]
+		sh.mu.Unlock()
+	}
+	return used
+}
+
+// homeShard is the shard a domain's allocations start from. Spreading
+// domains across shards is what keeps concurrent clones of different
+// parents off each other's locks.
+func (m *Memory) homeShard(dom DomID) int { return int(dom) % len(m.shards) }
+
+// initFrameLocked hands a frame of sh out to dom; sh must be locked and
+// sh.frames must already cover mfn.
+func (sh *shard) initFrameLocked(mfn MFN, dom DomID) {
+	f := &sh.frames[mfn-sh.lo]
+	f.owner = dom
+	f.refcount = 1
+	f.inUse = true
+	f.data = nil
+}
+
+// takeLocked allocates up to want frames from sh for dom, appending them to
+// out and returning how many it took: recycled frames first (most recent
+// first), then a contiguous watermark run — the same order the single-pool
+// allocator made within one range. sh must be locked.
+func (sh *shard) takeLocked(m *Memory, dom DomID, want int, out *[]MFN) int {
+	took := 0
+	for took < want && len(sh.recycled) > 0 {
+		mfn := sh.recycled[len(sh.recycled)-1]
+		sh.recycled = sh.recycled[:len(sh.recycled)-1]
+		sh.initFrameLocked(mfn, dom)
+		*out = append(*out, mfn)
+		took++
+	}
+	if rest := want - took; rest > 0 {
+		run := sh.size - sh.watermark
+		if run > rest {
+			run = rest
+		}
+		if run > 0 {
+			if need := sh.watermark + run - len(sh.frames); need > 0 {
+				sh.frames = append(sh.frames, make([]frame, need)...)
+			}
+			for i := 0; i < run; i++ {
+				mfn := sh.lo + MFN(sh.watermark+i)
+				sh.initFrameLocked(mfn, dom)
+				*out = append(*out, mfn)
+			}
+			sh.watermark += run
+			took += run
+		}
+	}
+	if took > 0 {
+		sh.usedByDom[dom] += took
+		m.beginAccount()
+		sh.free.Add(-int64(took))
+		m.endAccount()
+	}
+	return took
+}
+
+// dropUsageLocked decrements dom's usage count on sh; sh must be locked.
+func (sh *shard) dropUsageLocked(dom DomID, n int) {
+	if n == 0 {
+		return
+	}
+	sh.usedByDom[dom] -= n
+	if sh.usedByDom[dom] == 0 {
+		delete(sh.usedByDom, dom)
+	}
+}
+
+// resetFrameLocked returns one frame of sh to its recycled stack without
+// touching the per-owner usage accounting (the caller batches that). sh
+// must be locked.
+func (sh *shard) resetFrameLocked(mfn MFN) {
+	f := &sh.frames[mfn-sh.lo]
+	f.inUse = false
+	f.data = nil
+	f.refcount = 0
+	f.owner = DomIDInvalid
+	sh.recycled = append(sh.recycled, mfn)
 }
 
 // Alloc allocates one frame for dom, charging the meter.
 func (m *Memory) Alloc(dom DomID, meter *vclock.Meter) (MFN, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	mfn, err := m.allocLocked(dom)
+	mfn, err := m.allocOne(dom)
 	if err != nil {
 		return 0, err
 	}
@@ -146,79 +503,59 @@ func (m *Memory) Alloc(dom DomID, meter *vclock.Meter) (MFN, error) {
 	return mfn, nil
 }
 
-// AllocN allocates n frames for dom, taking the lock, updating the
-// ownership accounting and charging the meter once for the whole run. On
-// failure nothing is allocated.
-func (m *Memory) AllocN(dom DomID, n int, meter *vclock.Meter) ([]MFN, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if n > m.freeLenLocked() {
-		return nil, fmt.Errorf("%w: want %d frames, %d free", ErrOutOfMemory, n, m.freeLenLocked())
+// allocOne takes one frame from the first shard that has one, starting at
+// dom's home shard. Shards are locked one at a time, never nested.
+func (m *Memory) allocOne(dom DomID) (MFN, error) {
+	home := m.homeShard(dom)
+	var out []MFN
+	for k := 0; k < len(m.shards); k++ {
+		sh := &m.shards[(home+k)%len(m.shards)]
+		sh.mu.Lock()
+		took := sh.takeLocked(m, dom, 1, &out)
+		sh.mu.Unlock()
+		if took == 1 {
+			return out[0], nil
+		}
 	}
+	return 0, ErrOutOfMemory
+}
+
+// AllocN allocates n frames for dom, locking each shard it draws from once
+// and charging the meter once for the whole run. On failure nothing stays
+// allocated: frames taken from earlier shards are returned before the
+// error comes back.
+func (m *Memory) AllocN(dom DomID, n int, meter *vclock.Meter) ([]MFN, error) {
 	if n <= 0 {
 		return nil, nil
 	}
 	out := make([]MFN, 0, n)
-	// Recycled frames first (most recent first), then a contiguous
-	// watermark run — the same order n singleton allocations make.
-	for len(out) < n && len(m.recycled) > 0 {
-		mfn := m.recycled[len(m.recycled)-1]
-		m.recycled = m.recycled[:len(m.recycled)-1]
-		m.initFrameLocked(mfn, dom)
-		out = append(out, mfn)
+	home := m.homeShard(dom)
+	for k := 0; k < len(m.shards) && len(out) < n; k++ {
+		sh := &m.shards[(home+k)%len(m.shards)]
+		sh.mu.Lock()
+		sh.takeLocked(m, dom, n-len(out), &out)
+		sh.mu.Unlock()
 	}
-	if rest := n - len(out); rest > 0 {
-		if need := int(m.watermark) + rest - len(m.frames); need > 0 {
-			m.frames = append(m.frames, make([]frame, need)...)
-		}
-		for i := 0; i < rest; i++ {
-			mfn := m.watermark + MFN(i)
-			m.initFrameLocked(mfn, dom)
-			out = append(out, mfn)
-		}
-		m.watermark += MFN(rest)
+	if len(out) < n {
+		m.ReleaseN(dom, out)
+		return nil, fmt.Errorf("%w: want %d frames, %d free", ErrOutOfMemory, n, m.FreeFrames())
 	}
-	m.usedByDom[dom] += n
-	if meter != nil && n > 0 {
+	if meter != nil {
 		meter.Charge(meter.Costs().PageAlloc, n)
 	}
 	return out, nil
 }
 
-func (m *Memory) initFrameLocked(mfn MFN, dom DomID) {
-	f := &m.frames[mfn]
-	f.owner = dom
-	f.refcount = 1
-	f.inUse = true
-	f.data = nil
-}
-
-func (m *Memory) allocLocked(dom DomID) (MFN, error) {
-	var mfn MFN
-	switch {
-	case len(m.recycled) > 0:
-		mfn = m.recycled[len(m.recycled)-1]
-		m.recycled = m.recycled[:len(m.recycled)-1]
-	case int(m.watermark) < m.total:
-		mfn = m.watermark
-		m.watermark++
-		if int(mfn) >= len(m.frames) {
-			m.frames = append(m.frames, frame{})
-		}
-	default:
-		return 0, ErrOutOfMemory
-	}
-	m.initFrameLocked(mfn, dom)
-	m.usedByDom[dom]++
-	return mfn, nil
-}
-
 // Free releases a frame owned by dom. Frames owned by dom_cow must be
 // released by dropping sharer references (DropShared) instead.
 func (m *Memory) Free(dom DomID, mfn MFN) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -228,30 +565,23 @@ func (m *Memory) Free(dom DomID, mfn MFN) error {
 	if f.owner == DomIDCOW {
 		return fmt.Errorf("%w: frame %d", ErrStillShared, mfn)
 	}
-	m.freeLocked(mfn)
+	sh.dropUsageLocked(f.owner, 1)
+	sh.resetFrameLocked(mfn)
+	m.beginAccount()
+	sh.free.Add(1)
+	m.endAccount()
 	return nil
-}
-
-func (m *Memory) freeLocked(mfn MFN) {
-	m.dropUsageLocked(m.frames[mfn].owner, 1)
-	m.resetFrameLocked(mfn)
-}
-
-func (m *Memory) frameLocked(mfn MFN) (*frame, error) {
-	if int(mfn) >= m.total {
-		return nil, fmt.Errorf("%w: %d", ErrBadFrame, mfn)
-	}
-	if int(mfn) >= len(m.frames) || !m.frames[mfn].inUse {
-		return nil, fmt.Errorf("%w: %d", ErrDoubleFree, mfn)
-	}
-	return &m.frames[mfn], nil
 }
 
 // Owner reports the owner of a frame.
 func (m *Memory) Owner(mfn MFN) (DomID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return DomIDInvalid, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
 	if err != nil {
 		return DomIDInvalid, err
 	}
@@ -260,9 +590,13 @@ func (m *Memory) Owner(mfn MFN) (DomID, error) {
 
 // Refcount reports the sharer count of a frame.
 func (m *Memory) Refcount(mfn MFN) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return 0, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
 	if err != nil {
 		return 0, err
 	}
@@ -277,9 +611,13 @@ func (m *Memory) Share(dom DomID, mfn MFN, refs int, meter *vclock.Meter) error 
 	if refs < 1 {
 		return fmt.Errorf("mem: share with %d refs", refs)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -291,78 +629,100 @@ func (m *Memory) Share(dom DomID, mfn MFN, refs int, meter *vclock.Meter) error 
 	if f.owner != dom {
 		return fmt.Errorf("%w: frame %d owned by %d, shared by %d", ErrNotOwner, mfn, f.owner, dom)
 	}
-	m.shareLocked(f, refs)
+	sh.dropUsageLocked(f.owner, 1)
+	f.owner = DomIDCOW
+	f.refcount = int32(refs)
+	sh.usedByDom[DomIDCOW]++
+	m.beginAccount()
+	sh.shared.Add(1)
+	m.endAccount()
 	if meter != nil {
 		meter.Charge(meter.Costs().PageShare, 1)
 	}
 	return nil
 }
 
-// shareLocked transfers an exclusively-owned frame to dom_cow with refs
-// sharers.
-func (m *Memory) shareLocked(f *frame, refs int) {
-	m.usedByDom[f.owner]--
-	if m.usedByDom[f.owner] == 0 {
-		delete(m.usedByDom, f.owner)
-	}
-	f.owner = DomIDCOW
-	f.refcount = int32(refs)
-	m.usedByDom[DomIDCOW]++
-	m.sharedCnt++
-}
-
-// ShareN shares a run of frames with refs sharers each, taking the lock and
-// charging the meter once for the run. Per frame it behaves exactly like
-// Share: frames already owned by dom_cow gain refs-1 references at no
-// virtual cost, frames owned by dom are transferred to dom_cow and charged
-// one PageShare. Validation runs before any mutation, so a failed call
-// leaves the pool untouched.
+// ShareN shares a run of frames with refs sharers each, locking the shards
+// the run touches (ascending) and charging the meter once for the run. Per
+// frame it behaves exactly like Share: frames already owned by dom_cow gain
+// refs-1 references at no virtual cost, frames owned by dom are transferred
+// to dom_cow and charged one PageShare. Validation runs before any
+// mutation, so a failed call leaves the pool untouched.
 func (m *Memory) ShareN(dom DomID, mfns []MFN, refs int, meter *vclock.Meter) error {
-	return m.shareRun(dom, len(mfns), func(i int) MFN { return mfns[i] }, refs, meter)
+	var buf [segStack]segment
+	segs, mask, err := m.segmentsMFNs(mfns, buf[:0])
+	if err != nil {
+		return err
+	}
+	return m.shareSegs(dom, segs, mask, refs, meter)
 }
 
 // sharePTEs is ShareN over the frames referenced by a run of page-table
 // entries, so the clone hot path never materializes an MFN list for runs
 // it only shares.
 func (m *Memory) sharePTEs(dom DomID, ptes []pte, refs int, meter *vclock.Meter) error {
-	return m.shareRun(dom, len(ptes), func(i int) MFN { return ptes[i].mfn }, refs, meter)
+	var buf [segStack]segment
+	segs, mask, err := m.segmentsPTEs(ptes, buf[:0])
+	if err != nil {
+		return err
+	}
+	return m.shareSegs(dom, segs, mask, refs, meter)
 }
 
-func (m *Memory) shareRun(dom DomID, n int, mfnAt func(int) MFN, refs int, meter *vclock.Meter) error {
+func (m *Memory) shareSegs(dom DomID, segs []segment, mask uint32, refs int, meter *vclock.Meter) error {
 	if refs < 1 {
 		return fmt.Errorf("mem: share with %d refs", refs)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockMask(mask)
+	defer m.unlockMask(mask)
 	transfers := 0
-	for i := 0; i < n; i++ {
-		mfn := mfnAt(i)
-		f, err := m.frameLocked(mfn)
-		if err != nil {
-			return err
-		}
-		if f.owner != DomIDCOW {
-			if f.owner != dom {
-				return fmt.Errorf("%w: frame %d owned by %d, shared by %d", ErrNotOwner, mfn, f.owner, dom)
+	for _, sg := range segs {
+		fr, short := sg.frames()
+		for j := range fr {
+			f := &fr[j]
+			if !f.inUse {
+				return fmt.Errorf("%w: %d", ErrDoubleFree, sg.mfn(j))
 			}
-			transfers++
+			if f.owner != DomIDCOW {
+				if f.owner != dom {
+					return fmt.Errorf("%w: frame %d owned by %d, shared by %d", ErrNotOwner, sg.mfn(j), f.owner, dom)
+				}
+				transfers++
+			}
+		}
+		if short {
+			return fmt.Errorf("%w: %d", ErrDoubleFree, sg.mfn(len(fr)))
 		}
 	}
-	for i := 0; i < n; i++ {
-		f := &m.frames[mfnAt(i)]
-		if f.owner == DomIDCOW {
-			f.refcount += int32(refs - 1)
-			continue
+	var perShard [MaxShards]int
+	for _, sg := range segs {
+		fr, _ := sg.frames()
+		t := 0
+		for j := range fr {
+			f := &fr[j]
+			if f.owner == DomIDCOW {
+				f.refcount += int32(refs - 1)
+				continue
+			}
+			f.owner = DomIDCOW
+			f.refcount = int32(refs)
+			t++
 		}
-		f.owner = DomIDCOW
-		f.refcount = int32(refs)
+		perShard[sg.si] += t
 	}
 	if transfers > 0 {
 		// Every transferred frame was validated as owned by dom, so the
-		// per-owner accounting moves in one step instead of per frame.
-		m.dropUsageLocked(dom, transfers)
-		m.usedByDom[DomIDCOW] += transfers
-		m.sharedCnt += transfers
+		// per-owner accounting moves per shard instead of per frame.
+		m.beginAccount()
+		for si := range m.shards {
+			if c := perShard[si]; c > 0 {
+				sh := &m.shards[si]
+				sh.dropUsageLocked(dom, c)
+				sh.usedByDom[DomIDCOW] += c
+				sh.shared.Add(int64(c))
+			}
+		}
+		m.endAccount()
 		if meter != nil {
 			meter.Charge(meter.Costs().PageShare, transfers)
 		}
@@ -373,48 +733,77 @@ func (m *Memory) shareRun(dom DomID, n int, mfnAt func(int) MFN, refs int, meter
 // AddSharer increments the reference count of an already-shared frame
 // (used when a clone becomes the parent of further clones).
 func (m *Memory) AddSharer(mfn MFN, n int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	var buf [1]segment
+	segs, mask, err := m.segmentsMFNs([]MFN{mfn}, buf[:0])
 	if err != nil {
 		return err
 	}
-	if f.owner != DomIDCOW {
-		return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
-	}
-	f.refcount += int32(n)
-	return nil
+	return m.addSharerSegs(segs, mask, n)
 }
 
 // AddSharerN increments the reference count of a run of already-shared
-// frames by n each under one lock acquisition. Validation runs before any
-// mutation. This is the 2nd..Nth-clone fast path: re-cloning an
-// already-COW parent is nothing but sharer bumps.
+// frames by n each, locking the shards the run touches once. Validation
+// runs before any mutation. This is the 2nd..Nth-clone fast path:
+// re-cloning an already-COW parent is nothing but sharer bumps.
 func (m *Memory) AddSharerN(mfns []MFN, n int) error {
-	return m.addSharerRun(len(mfns), func(i int) MFN { return mfns[i] }, n)
+	var buf [segStack]segment
+	segs, mask, err := m.segmentsMFNs(mfns, buf[:0])
+	if err != nil {
+		return err
+	}
+	return m.addSharerSegs(segs, mask, n)
 }
 
 // addSharerPTEs is AddSharerN over the frames referenced by a run of
 // page-table entries (the 2nd..Nth-clone fast path works straight off the
 // parent's table).
 func (m *Memory) addSharerPTEs(ptes []pte, n int) error {
-	return m.addSharerRun(len(ptes), func(i int) MFN { return ptes[i].mfn }, n)
+	var buf [segStack]segment
+	segs, mask, err := m.segmentsPTEs(ptes, buf[:0])
+	if err != nil {
+		return err
+	}
+	return m.addSharerSegs(segs, mask, n)
 }
 
-func (m *Memory) addSharerRun(cnt int, mfnAt func(int) MFN, n int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i := 0; i < cnt; i++ {
-		f, err := m.frameLocked(mfnAt(i))
-		if err != nil {
-			return err
+// addSharerSegs bumps sharer counts in a single fused validate+mutate pass;
+// on a validation failure every bump applied so far is subtracted back, so
+// a failed call still leaves the pool untouched (the increment is its own
+// exact inverse, which is what makes the fusion safe). One pass instead of
+// two matters: this is the entire cost of a 2nd..Nth clone.
+func (m *Memory) addSharerSegs(segs []segment, mask uint32, n int) error {
+	m.lockMask(mask)
+	defer m.unlockMask(mask)
+	undo := func(done int, sg segment, j int) {
+		for _, dsg := range segs[:done] {
+			fr, _ := dsg.frames()
+			for k := range fr {
+				fr[k].refcount -= int32(n)
+			}
 		}
-		if f.owner != DomIDCOW {
-			return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfnAt(i), f.owner)
+		fr, _ := sg.frames()
+		for k := 0; k < j; k++ {
+			fr[k].refcount -= int32(n)
 		}
 	}
-	for i := 0; i < cnt; i++ {
-		m.frames[mfnAt(i)].refcount += int32(n)
+	for si, sg := range segs {
+		fr, short := sg.frames()
+		for j := range fr {
+			f := &fr[j]
+			if !f.inUse {
+				undo(si, sg, j)
+				return fmt.Errorf("%w: %d", ErrDoubleFree, sg.mfn(j))
+			}
+			if f.owner != DomIDCOW {
+				undo(si, sg, j)
+				return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, sg.mfn(j), f.owner)
+			}
+			f.refcount += int32(n)
+		}
+		if short {
+			undo(si, sg, len(fr))
+			return fmt.Errorf("%w: %d", ErrDoubleFree, sg.mfn(len(fr)))
+		}
 	}
 	return nil
 }
@@ -426,57 +815,119 @@ func (m *Memory) addSharerRun(cnt int, mfnAt func(int) MFN, n int) error {
 // faulting domain — which may differ from the original owner (§5.2) — with
 // no copy. Returns the MFN the domain should map afterwards.
 func (m *Memory) CopyOnWrite(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
 	if err != nil {
 		return 0, err
 	}
+	sh.mu.Lock()
+	f, err := m.frameAt(mfn)
+	if err != nil {
+		sh.mu.Unlock()
+		return 0, err
+	}
 	if f.owner != DomIDCOW {
+		sh.mu.Unlock()
 		return 0, fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
 	}
 	if f.refcount == 1 {
-		// Last sharer: transfer ownership back without copying.
-		m.usedByDom[DomIDCOW]--
-		if m.usedByDom[DomIDCOW] == 0 {
-			delete(m.usedByDom, DomIDCOW)
-		}
-		m.sharedCnt--
-		f.owner = dom
-		m.usedByDom[dom]++
+		m.transferLastSharerLocked(sh, f, dom)
+		sh.mu.Unlock()
 		if meter != nil {
 			meter.Charge(meter.Costs().PageUnshare, 1)
 		}
 		return mfn, nil
 	}
-	newMFN, err := m.allocLocked(dom)
+	sh.mu.Unlock()
+
+	// Other sharers exist: allocate the private copy first (shards are
+	// locked one at a time, so the allocation may come from any shard
+	// without nesting under the source lock), then relock source and
+	// destination in ascending shard order for the copy.
+	newMFN, err := m.allocOne(dom)
 	if err != nil {
 		return 0, err
 	}
 	if meter != nil {
 		meter.Charge(meter.Costs().PageAlloc, 1)
 	}
-	// allocLocked may have grown m.frames; re-resolve the shared frame.
-	f = &m.frames[mfn]
-	nf := &m.frames[newMFN]
+	mask := uint32(1<<m.shardIdx(mfn)) | 1<<m.shardIdx(newMFN)
+	m.lockMask(mask)
+	f, err = m.frameAt(mfn)
+	if err == nil && f.owner != DomIDCOW {
+		err = fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
+	}
+	if err != nil {
+		m.unlockMask(mask)
+		m.releaseOne(dom, newMFN)
+		return 0, err
+	}
+	if f.refcount == 1 {
+		// Raced with the other sharers dropping out between the unlock and
+		// the relock: transfer ownership as the last sharer and return the
+		// speculative frame.
+		m.transferLastSharerLocked(&m.shards[m.shardIdx(mfn)], f, dom)
+		m.unlockMask(mask)
+		m.releaseOne(dom, newMFN)
+		if meter != nil {
+			meter.Charge(meter.Costs().PageUnshare, 1)
+		}
+		return mfn, nil
+	}
+	nf, _ := m.frameAt(newMFN)
 	if f.data != nil {
 		nf.data = make([]byte, PageSize)
 		copy(nf.data, f.data)
 	}
 	f.refcount--
+	m.unlockMask(mask)
 	if meter != nil {
 		meter.Charge(meter.Costs().PageUnshare, 1)
 	}
 	return newMFN, nil
 }
 
+// transferLastSharerLocked moves a dom_cow frame whose last sharer is dom
+// back to exclusive ownership; sh (the frame's shard) must be locked.
+func (m *Memory) transferLastSharerLocked(sh *shard, f *frame, dom DomID) {
+	sh.dropUsageLocked(DomIDCOW, 1)
+	f.owner = dom
+	sh.usedByDom[dom]++
+	m.beginAccount()
+	sh.shared.Add(-1)
+	m.endAccount()
+}
+
+// releaseOne frees a frame owned by dom, ignoring errors (speculative
+// allocation unwind).
+func (m *Memory) releaseOne(dom DomID, mfn MFN) {
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
+	if err != nil || f.owner != dom {
+		return
+	}
+	sh.dropUsageLocked(dom, 1)
+	sh.resetFrameLocked(mfn)
+	m.beginAccount()
+	sh.free.Add(1)
+	m.endAccount()
+}
+
 // DropShared releases one sharer reference on a shared frame without
 // copying (domain teardown). When the last reference drops, the frame is
 // freed.
 func (m *Memory) DropShared(mfn MFN) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -485,76 +936,124 @@ func (m *Memory) DropShared(mfn MFN) error {
 	}
 	f.refcount--
 	if f.refcount == 0 {
-		m.sharedCnt--
-		m.freeLocked(mfn)
+		sh.dropUsageLocked(DomIDCOW, 1)
+		sh.resetFrameLocked(mfn)
+		m.beginAccount()
+		sh.shared.Add(-1)
+		sh.free.Add(1)
+		m.endAccount()
 	}
 	return nil
 }
 
-// ReleaseN releases a run of frames on behalf of dom under one lock
-// acquisition, applying the domain-teardown rules per frame: dom_cow frames
-// drop one sharer reference (freeing on the last), frames owned by dom are
-// freed, and frames owned by anyone else are skipped. Bad frames are
-// recorded and skipped; the first error is returned after the whole run is
-// processed.
+// ReleaseN releases a run of frames on behalf of dom, locking the shards
+// the run touches (ascending) once and applying the domain-teardown rules
+// per frame: dom_cow frames drop one sharer reference (freeing on the
+// last), frames owned by dom are freed, and frames owned by anyone else
+// are skipped. Bad frames are recorded and skipped; the first error is
+// returned after the whole run is processed.
 func (m *Memory) ReleaseN(dom DomID, mfns []MFN) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	var buf [segStack]segment
+	segs, mask, firstErr := m.segmentsSkipBad(mfns, buf[:0])
+	return m.releaseSegs(dom, segs, mask, firstErr)
+}
+
+// releasePTEs is ReleaseN over the frames referenced by the present entries
+// of a page table, so releasing a whole space never materializes an MFN
+// list. Entries that are not present are skipped without error (an already
+// torn-down mapping has nothing to release).
+func (m *Memory) releasePTEs(dom DomID, ptes []pte) error {
+	var buf [segStack]segment
+	var mask uint32
 	var firstErr error
-	ownFreed, cowFreed := 0, 0
-	for _, mfn := range mfns {
-		f, err := m.frameLocked(mfn)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+	segs := buf[:0]
+	for lo := 0; lo < len(ptes); {
+		if !ptes[lo].present {
+			lo++
 			continue
 		}
-		switch f.owner {
-		case DomIDCOW:
-			f.refcount--
-			if f.refcount == 0 {
-				m.sharedCnt--
-				cowFreed++
-				m.resetFrameLocked(mfn)
+		start := ptes[lo].mfn
+		if int(start) >= m.total {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %d", ErrBadFrame, start)
 			}
-		case dom:
-			ownFreed++
-			m.resetFrameLocked(mfn)
+			lo++
+			continue
+		}
+		si := int(start >> m.shift)
+		sh := &m.shards[si]
+		mask |= 1 << si
+		end := start + 1
+		lim := sh.lo + MFN(sh.size)
+		hi := lo + 1
+		for hi < len(ptes) && end < lim && ptes[hi].present && ptes[hi].mfn == end {
+			hi++
+			end++
+		}
+		segs = append(segs, segment{sh: sh, si: si, a: int(start - sh.lo), b: int(end - sh.lo)})
+		lo = hi
+	}
+	return m.releaseSegs(dom, segs, mask, firstErr)
+}
+
+func (m *Memory) releaseSegs(dom DomID, segs []segment, mask uint32, firstErr error) error {
+	m.lockMask(mask)
+	defer m.unlockMask(mask)
+	var ownFreed, cowFreed [MaxShards]int
+	for _, sg := range segs {
+		sh := sg.sh
+		fr, short := sg.frames()
+		for j := range fr {
+			f := &fr[j]
+			if !f.inUse {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %d", ErrDoubleFree, sg.mfn(j))
+				}
+				continue
+			}
+			switch f.owner {
+			case DomIDCOW:
+				f.refcount--
+				if f.refcount == 0 {
+					cowFreed[sg.si]++
+					sh.resetFrameLocked(sg.mfn(j))
+				}
+			case dom:
+				ownFreed[sg.si]++
+				sh.resetFrameLocked(sg.mfn(j))
+			}
+		}
+		if short && firstErr == nil {
+			firstErr = fmt.Errorf("%w: %d", ErrDoubleFree, sg.mfn(len(fr)))
 		}
 	}
-	m.dropUsageLocked(dom, ownFreed)
-	m.dropUsageLocked(DomIDCOW, cowFreed)
+	m.beginAccount()
+	for si := range m.shards {
+		sh := &m.shards[si]
+		if c := ownFreed[si]; c > 0 {
+			sh.dropUsageLocked(dom, c)
+			sh.free.Add(int64(c))
+		}
+		if c := cowFreed[si]; c > 0 {
+			sh.dropUsageLocked(DomIDCOW, c)
+			sh.shared.Add(-int64(c))
+			sh.free.Add(int64(c))
+		}
+	}
+	m.endAccount()
 	return firstErr
-}
-
-// resetFrameLocked returns one frame to the recycled stack without touching
-// the per-owner usage accounting (the caller batches that).
-func (m *Memory) resetFrameLocked(mfn MFN) {
-	f := &m.frames[mfn]
-	f.inUse = false
-	f.data = nil
-	f.refcount = 0
-	f.owner = DomIDInvalid
-	m.recycled = append(m.recycled, mfn)
-}
-
-func (m *Memory) dropUsageLocked(dom DomID, n int) {
-	if n == 0 {
-		return
-	}
-	m.usedByDom[dom] -= n
-	if m.usedByDom[dom] == 0 {
-		delete(m.usedByDom, dom)
-	}
 }
 
 // Read copies the contents at (mfn, off) into buf. Reading a never-written
 // frame yields zeroes.
 func (m *Memory) Read(mfn MFN, off int, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -574,9 +1073,13 @@ func (m *Memory) Read(mfn MFN, off int, buf []byte) error {
 // Write stores buf at (mfn, off). Write does not check ownership or
 // sharing; address spaces enforce COW before calling it.
 func (m *Memory) Write(mfn MFN, off int, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.frameLocked(mfn)
+	sh, err := m.shardChecked(mfn)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := m.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -593,26 +1096,21 @@ func (m *Memory) Write(mfn MFN, off int, buf []byte) error {
 // CopyFrame copies the full contents of src into dst, charging one page
 // copy.
 func (m *Memory) CopyFrame(dst, src MFN, meter *vclock.Meter) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.copyFrameLocked(dst, src); err != nil {
-		return err
-	}
-	if meter != nil {
-		meter.Charge(meter.Costs().PageCopy, 1)
-	}
-	return nil
+	return m.CopyFrameN([]MFN{dst}, []MFN{src}, meter)
 }
 
-// CopyFrameN copies src[i] into dst[i] for every i, taking the lock and
-// charging the meter once for the run (PageCopy × len). Validation of the
-// slice lengths happens up front; a bad frame mid-run stops the copy there.
+// CopyFrameN copies src[i] into dst[i] for every i, locking the shards both
+// runs touch (ascending) and charging the meter once for the run
+// (PageCopy × len). Validation of the slice lengths happens up front; a bad
+// frame mid-run stops the copy there.
 func (m *Memory) CopyFrameN(dst, src []MFN, meter *vclock.Meter) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("mem: CopyFrameN with %d dst, %d src frames", len(dst), len(src))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	mask := m.maskOf(len(dst), func(i int) MFN { return dst[i] }) |
+		m.maskOf(len(src), func(i int) MFN { return src[i] })
+	m.lockMask(mask)
+	defer m.unlockMask(mask)
 	for i := range dst {
 		if err := m.copyFrameLocked(dst[i], src[i]); err != nil {
 			return err
@@ -624,12 +1122,13 @@ func (m *Memory) CopyFrameN(dst, src []MFN, meter *vclock.Meter) error {
 	return nil
 }
 
+// copyFrameLocked copies src into dst; the shards of both must be locked.
 func (m *Memory) copyFrameLocked(dst, src MFN) error {
-	fs, err := m.frameLocked(src)
+	fs, err := m.frameAt(src)
 	if err != nil {
 		return err
 	}
-	fd, err := m.frameLocked(dst)
+	fd, err := m.frameAt(dst)
 	if err != nil {
 		return err
 	}
@@ -642,4 +1141,27 @@ func (m *Memory) copyFrameLocked(dst, src MFN) error {
 		copy(fd.data, fs.data)
 	}
 	return nil
+}
+
+// SnapshotFrames captures the contents of every frame in mfns, one slot per
+// input, with nil for frames whose backing store has never been written
+// (they read as zeroes). The shards the run touches are locked once, in
+// ascending order, so the capture is one coherent pass even while other
+// shards keep allocating — and a concurrent ReleaseN on the same shards
+// orders strictly before or after the whole snapshot.
+func (m *Memory) SnapshotFrames(mfns []MFN) ([][]byte, error) {
+	mask := m.maskOf(len(mfns), func(i int) MFN { return mfns[i] })
+	m.lockMask(mask)
+	defer m.unlockMask(mask)
+	out := make([][]byte, len(mfns))
+	for i, mfn := range mfns {
+		f, err := m.frameAt(mfn)
+		if err != nil {
+			return nil, err
+		}
+		if f.data != nil {
+			out[i] = append([]byte(nil), f.data...)
+		}
+	}
+	return out, nil
 }

@@ -75,15 +75,42 @@ type pte struct {
 	kind     PageKind
 }
 
+// ptePool recycles page-table slices from released spaces into newly built
+// ones. A released clone's table is the single biggest piece of garbage on
+// the clone path (256 KiB for a 64 MB guest), and collecting it steals the
+// very cores the sharded pool frees up; recycling keeps steady-state clone
+// churn — the fuzzing and FaaS patterns, where children live briefly —
+// allocation-free. Slices from the pool hold stale entries, so every
+// consumer fully overwrites the prefix it slices off.
+var ptePool sync.Pool
+
+func getPTEs(n int) []pte {
+	if v := ptePool.Get(); v != nil {
+		s := *(v.(*[]pte))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]pte, n)
+}
+
+func putPTEs(s []pte) {
+	if cap(s) == 0 {
+		return
+	}
+	ptePool.Put(&s)
+}
+
 // Space is one domain's guest-physical address space under direct paging:
 // a p2m map from PFNs to machine frames plus per-page access state. It also
 // accounts for the page-table frames and p2m frames that make the mapping
 // itself, since duplicating those dominates clone time.
 type Space struct {
-	mu   sync.Mutex
-	mem  *Memory
-	dom  DomID
-	ptes []pte
+	mu     sync.Mutex
+	mem    *Memory
+	dom    DomID
+	npages int // immutable page count, valid even after release
+	ptes   []pte
 	// ptFrames and p2mFrames are the metadata frames backing the page
 	// table and the p2m map. They are private memory: never shared.
 	ptFrames  []MFN
@@ -126,7 +153,7 @@ func P2MFrameCount(n int) int {
 // frames, allocating and populating all of them (unikernels map their whole
 // memory at boot), plus the page-table and p2m frames.
 func NewSpace(m *Memory, dom DomID, pages int, meter *vclock.Meter) (*Space, error) {
-	s := &Space{mem: m, dom: dom, ptes: make([]pte, pages)}
+	s := &Space{mem: m, dom: dom, npages: pages, ptes: getPTEs(pages)}
 	mfns, err := m.AllocN(dom, pages, meter)
 	if err != nil {
 		return nil, err
@@ -150,9 +177,7 @@ func (s *Space) Dom() DomID { return s.dom }
 
 // Pages returns the number of guest pages in the space.
 func (s *Space) Pages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.ptes)
+	return s.npages
 }
 
 // MetadataFrames returns how many private page-table plus p2m frames back
@@ -326,6 +351,9 @@ func (s *Space) markDirtyLocked(pfn PFN) {
 func (s *Space) PrivatePFNs() []PFN {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.retired {
+		return nil
+	}
 	var out []PFN
 	for i := range s.ptes {
 		if s.ptes[i].present && s.ptes[i].kind != KindRegular {
@@ -501,13 +529,15 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 		lo = hi
 	}
 
-	// Bulk-copy the parent's table (append avoids zeroing a slice that is
-	// about to be fully overwritten) and patch in the private mappings.
+	// Bulk-copy the parent's table (a recycled slice avoids both zeroing
+	// and garbage) and patch in the private mappings.
 	child := &Space{
-		mem:  s.mem,
-		dom:  childDom,
-		ptes: append([]pte(nil), s.ptes...),
+		mem:    s.mem,
+		dom:    childDom,
+		npages: len(s.ptes),
+		ptes:   getPTEs(len(s.ptes)),
 	}
+	copy(child.ptes, s.ptes)
 	for _, fx := range fixups {
 		if fx.mfns == nil {
 			for i := fx.lo; i < fx.hi; i++ {
@@ -557,6 +587,9 @@ func appendMFNs(dst []MFN, ptes []pte) []MFN {
 func (s *Space) MarkAllCOW() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.retired {
+		return
+	}
 	for i := range s.ptes {
 		p := &s.ptes[i]
 		if p.present && p.kind == KindRegular && p.writable {
@@ -610,60 +643,124 @@ func (s *Space) release() error {
 	if s.retired {
 		return nil
 	}
-	// One batched pass over everything the space holds: shared frames drop
+	// Batched passes over everything the space holds: shared frames drop
 	// a reference, owned frames are freed, frames owned by another domain
 	// are left alone — the same per-frame dispatch the old per-page
-	// Owner/DropShared/Free sequence made, under a single Memory lock.
-	mfns := make([]MFN, 0, len(s.ptes)+len(s.ptFrames)+len(s.p2mFrames))
-	for i := range s.ptes {
-		p := &s.ptes[i]
-		if !p.present {
-			continue
-		}
-		mfns = append(mfns, p.mfn)
-		p.present = false
+	// Owner/DropShared/Free sequence made. The guest pages go straight off
+	// the page table as extents (no intermediate MFN list); the metadata
+	// frames follow. Setting retired retires every entry, so the per-pte
+	// present bits need no touching.
+	firstErr := s.mem.releasePTEs(s.dom, s.ptes)
+	if err := s.mem.ReleaseN(s.dom, s.ptFrames); firstErr == nil {
+		firstErr = err
 	}
-	mfns = append(mfns, s.ptFrames...)
-	mfns = append(mfns, s.p2mFrames...)
-	firstErr := s.mem.ReleaseN(s.dom, mfns)
-	s.ptFrames, s.p2mFrames = nil, nil
+	if err := s.mem.ReleaseN(s.dom, s.p2mFrames); firstErr == nil {
+		firstErr = err
+	}
+	putPTEs(s.ptes)
+	s.ptes, s.ptFrames, s.p2mFrames = nil, nil, nil
 	s.retired = true
 	return firstErr
 }
 
 // Snapshot returns the contents of every guest page, one slot per pfn, with
 // nil for pages whose backing frame has never been written (they read as
-// zeroes). The whole capture costs one Memory lock acquisition instead of a
-// page-sized Read per pfn, which is what makes save/restore cycles cheap
-// for mostly-untouched unikernel memory.
+// zeroes). The whole capture locks each touched pool shard once (in the
+// pool-wide ascending order) instead of a page-sized Read per pfn, which is
+// what makes save/restore cycles cheap for mostly-untouched unikernel
+// memory.
 func (s *Space) Snapshot() ([][]byte, error) {
+	mfns, err := s.snapshotMFNs()
+	if err != nil {
+		return nil, err
+	}
+	return s.mem.SnapshotFrames(mfns)
+}
+
+// snapshotMFNs captures the current pfn → mfn mapping of the whole space.
+func (s *Space) snapshotMFNs() ([]MFN, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.retired {
-		s.mu.Unlock()
 		return nil, ErrSpaceRetired
 	}
 	mfns := make([]MFN, len(s.ptes))
 	for i := range s.ptes {
 		if !s.ptes[i].present {
-			s.mu.Unlock()
 			return nil, fmt.Errorf("%w: pfn %d not present", ErrBadPFN, i)
 		}
 		mfns[i] = s.ptes[i].mfn
 	}
-	s.mu.Unlock()
+	return mfns, nil
+}
 
-	m := s.mem
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([][]byte, len(mfns))
-	for i, mfn := range mfns {
-		f, err := m.frameLocked(mfn)
-		if err != nil {
-			return nil, err
-		}
-		if f.data != nil {
-			out[i] = append([]byte(nil), f.data...)
-		}
+// SnapshotRun is one extent of a space capture: Count consecutive pfns
+// starting at Start. A zero run (Pages == nil) covers frames that have
+// never been written and read as zeroes; a data run carries one page image
+// per pfn. Alias >= 0 marks a run whose pfns map the very frames of an
+// earlier run (family-shared mappings installed by Remap): its contents are
+// the pages of the run starting at pfn Alias, so the capture stores them
+// once.
+type SnapshotRun struct {
+	Start PFN
+	Count int
+	Pages [][]byte
+	Alias PFN // valid iff IsAlias
+	// IsAlias reports that this run repeats the frames of the run starting
+	// at Alias.
+	IsAlias bool
+}
+
+// SnapshotRuns captures the space as run-length extents: consecutive
+// never-written pages collapse into zero runs with no per-page storage,
+// consecutive pfns backed by frames already captured earlier collapse into
+// alias runs, and only genuinely distinct written pages carry data. The
+// underlying frame capture is the same single coherent shard-ordered pass
+// as Snapshot.
+func (s *Space) SnapshotRuns() ([]SnapshotRun, error) {
+	mfns, err := s.snapshotMFNs()
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	pages, err := s.mem.SnapshotFrames(mfns)
+	if err != nil {
+		return nil, err
+	}
+	firstAt := make(map[MFN]PFN, len(mfns))
+	var runs []SnapshotRun
+	for lo := 0; lo < len(mfns); {
+		if seen, dup := firstAt[mfns[lo]]; dup {
+			// Alias run: successive pfns whose frames repeat an earlier
+			// contiguous capture.
+			hi := lo + 1
+			for hi < len(mfns) {
+				prev, dup := firstAt[mfns[hi]]
+				if !dup || prev != seen+PFN(hi-lo) {
+					break
+				}
+				hi++
+			}
+			runs = append(runs, SnapshotRun{Start: PFN(lo), Count: hi - lo, Alias: seen, IsAlias: true})
+			lo = hi
+			continue
+		}
+		// Fresh frames: extend while the zero/data class holds and no frame
+		// repeats an earlier one.
+		zero := pages[lo] == nil
+		hi := lo
+		for hi < len(mfns) && (pages[hi] == nil) == zero {
+			if _, dup := firstAt[mfns[hi]]; dup {
+				break
+			}
+			firstAt[mfns[hi]] = PFN(hi)
+			hi++
+		}
+		run := SnapshotRun{Start: PFN(lo), Count: hi - lo}
+		if !zero {
+			run.Pages = pages[lo:hi]
+		}
+		runs = append(runs, run)
+		lo = hi
+	}
+	return runs, nil
 }

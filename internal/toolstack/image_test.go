@@ -1,0 +1,103 @@
+package toolstack
+
+import (
+	"bytes"
+	"testing"
+
+	"nephele/internal/mem"
+)
+
+// TestImageExtentEncoding: a mostly-idle guest collapses into a handful
+// of runs instead of one slice per page, while Pages() still reports the
+// full allocated count and every written byte survives the round trip.
+func TestImageExtentEncoding(t *testing.T) {
+	r := newRig(t)
+	rec, err := r.xl.Create(baseConfig("sparse"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, _ := r.hv.Domain(rec.ID)
+	sp := dom.Space()
+
+	// Touch three scattered pages; one of them written with zeroes only
+	// (indistinguishable on the wire from never written).
+	sp.Write(2, 0, []byte("alpha"), nil)
+	sp.Write(100, 50, []byte("beta"), nil)
+	sp.Write(300, 0, make([]byte, 64), nil)
+
+	img, err := r.xl.Save(rec.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseConfig("sparse").Pages()
+	if img.Pages() != want {
+		t.Fatalf("Pages() = %d, want the full allocation %d", img.Pages(), want)
+	}
+	// Three touched pages split the space into at most 7 runs
+	// (zero|data|zero|data|zero|data|zero); per-page storage would be
+	// >1000 entries for a 4 MiB guest.
+	if img.Runs() > 7 {
+		t.Fatalf("image encodes %d runs for 3 touched pages", img.Runs())
+	}
+	stored := 0
+	for _, run := range img.runs {
+		for _, p := range run.pages {
+			if p != nil {
+				stored++
+			}
+		}
+	}
+	if stored != 2 {
+		t.Fatalf("stored %d page bodies, want 2 (zero-written page scrubbed)", stored)
+	}
+
+	rec2, err := r.xl.Restore(img, "sparse-2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom2, _ := r.hv.Domain(rec2.ID)
+	check := func(pfn mem.PFN, off int, want []byte) {
+		t.Helper()
+		buf := make([]byte, len(want))
+		if err := dom2.Space().Read(pfn, off, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("pfn %d: restored %q, want %q", pfn, buf, want)
+		}
+	}
+	check(2, 0, []byte("alpha"))
+	check(100, 50, []byte("beta"))
+	check(300, 0, make([]byte, 64))
+	check(500, 0, make([]byte, 16)) // untouched page reads zero
+}
+
+// TestImagePageAtAliasResolution exercises the alias indirection of
+// pageAt directly against a hand-built image.
+func TestImagePageAtAliasResolution(t *testing.T) {
+	data := []byte{1, 2, 3}
+	img := &Image{
+		npages: 12,
+		runs: []imageRun{
+			{start: 0, count: 4},                          // zero run
+			{start: 4, count: 2, pages: [][]byte{data, nil}}, // data run
+			{start: 6, count: 2, alias: 4, isAlias: true}, // repeats pfns 4..5
+			{start: 8, count: 4},                          // zero run
+		},
+	}
+	if got := img.pageAt(3); got != nil {
+		t.Fatalf("pageAt(3) = %v, want nil", got)
+	}
+	if got := img.pageAt(4); !bytes.Equal(got, data) {
+		t.Fatalf("pageAt(4) = %v", got)
+	}
+	if got := img.pageAt(6); !bytes.Equal(got, data) {
+		t.Fatalf("pageAt(6) via alias = %v", got)
+	}
+	if got := img.pageAt(7); got != nil {
+		t.Fatalf("pageAt(7) via alias = %v, want nil (scrubbed slot)", got)
+	}
+	if got := img.pageAt(11); got != nil {
+		t.Fatalf("pageAt(11) = %v, want nil", got)
+	}
+}

@@ -9,16 +9,57 @@ import (
 )
 
 // Image is a saved domain image: the configuration plus the full contents
-// of the guest memory. Restore copies the entire allocated VM memory back
-// regardless of how much the guest actually used, which is why restore is
-// consistently slower than boot in Fig. 4.
+// of the guest memory, encoded as run-length extents rather than one slice
+// per page. Zero runs (pages the guest never wrote) store nothing, alias
+// runs (family-shared mappings that repeat earlier frames) store nothing,
+// and only genuinely distinct written pages carry data. Restore still
+// copies the entire allocated VM memory back regardless of how much the
+// guest actually used — Pages() reports the full on-wire count and the
+// restore charge covers it — which is why restore is consistently slower
+// than boot in Fig. 4.
 type Image struct {
 	Config DomainConfig
-	pages  [][]byte // one slot per pfn; nil = untouched (zero) page
+	npages int // full allocated page count (the on-wire size)
+	runs   []imageRun
 }
 
-// Pages reports the number of frames in the image.
-func (img *Image) Pages() int { return len(img.pages) }
+// imageRun is one extent of the image: count consecutive pfns from start.
+// A zero run has nil pages; a data run carries one slot per pfn (all-zero
+// written pages are scrubbed to nil slots); an alias run repeats the
+// contents of the run covering pfn alias.
+type imageRun struct {
+	start   mem.PFN
+	count   int
+	pages   [][]byte
+	alias   mem.PFN // valid iff isAlias
+	isAlias bool
+}
+
+// Pages reports the number of frames in the image: the full allocated VM
+// memory, however compactly the extents encode it.
+func (img *Image) Pages() int { return img.npages }
+
+// Runs reports the number of extents encoding the image.
+func (img *Image) Runs() int { return len(img.runs) }
+
+// pageAt resolves the stored contents of one pfn, following at most one
+// level of alias indirection (aliases always point into fresh runs). nil
+// means the page reads as zeroes.
+func (img *Image) pageAt(pfn mem.PFN) []byte {
+	for _, r := range img.runs {
+		if pfn < r.start || pfn >= r.start+mem.PFN(r.count) {
+			continue
+		}
+		if r.isAlias {
+			return img.pageAt(r.alias + (pfn - r.start))
+		}
+		if r.pages == nil {
+			return nil
+		}
+		return r.pages[pfn-r.start]
+	}
+	return nil
+}
 
 // Save serializes a running domain to an image (the domain keeps running;
 // the paper's experiment saves and then restores a fresh instance each
@@ -34,19 +75,26 @@ func (x *XL) Save(id hv.DomID, meter *vclock.Meter) (*Image, error) {
 	}
 	space := dom.Space()
 	n := space.Pages()
-	// Snapshot captures the whole space in one pass, returning nil for
-	// never-written (all-zero) frames, so only pages the guest actually
-	// touched need the zero scan and a copy into the image.
-	pages, err := space.Snapshot()
+	// SnapshotRuns captures the whole space in one coherent pass as
+	// extents: never-written ranges collapse into zero runs with no
+	// per-page storage, repeated family-shared frames into alias runs,
+	// so only pages the guest actually touched need the zero scan and a
+	// copy into the image.
+	runs, err := space.SnapshotRuns()
 	if err != nil {
 		return nil, fmt.Errorf("toolstack: save domain %d: %w", id, err)
 	}
-	for pfn, data := range pages {
-		if data != nil && allZero(data) {
-			pages[pfn] = nil
+	iruns := make([]imageRun, len(runs))
+	for i, r := range runs {
+		iruns[i] = imageRun{start: r.Start, count: r.Count, pages: r.Pages,
+			alias: r.Alias, isAlias: r.IsAlias}
+		for j, data := range iruns[i].pages {
+			if data != nil && allZero(data) {
+				iruns[i].pages[j] = nil
+			}
 		}
 	}
-	img := &Image{Config: rec.Config, pages: pages}
+	img := &Image{Config: rec.Config, npages: n, runs: iruns}
 	if meter != nil {
 		meter.Charge(meter.Costs().ImagePageSave, n)
 	}
@@ -68,22 +116,34 @@ func (x *XL) Restore(img *Image, name string, meter *vclock.Meter) (*Record, err
 		return nil, err
 	}
 	space := dom.Space()
-	if space.Pages() < len(img.pages) {
+	if space.Pages() < img.npages {
 		x.Destroy(rec.ID, nil)
-		return nil, fmt.Errorf("toolstack: image has %d pages, domain %d", len(img.pages), space.Pages())
+		return nil, fmt.Errorf("toolstack: image has %d pages, domain %d", img.npages, space.Pages())
 	}
-	for pfn, data := range img.pages {
-		if data == nil {
-			continue
+	for _, r := range img.runs {
+		if !r.isAlias && r.pages == nil {
+			continue // zero run: a fresh domain's pages already read as zeroes
 		}
-		if err := space.Write(mem.PFN(pfn), 0, data, nil); err != nil {
-			x.Destroy(rec.ID, nil)
-			return nil, fmt.Errorf("toolstack: restore pfn %d: %w", pfn, err)
+		for j := 0; j < r.count; j++ {
+			pfn := r.start + mem.PFN(j)
+			var data []byte
+			if r.isAlias {
+				data = img.pageAt(r.alias + mem.PFN(j))
+			} else {
+				data = r.pages[j]
+			}
+			if data == nil {
+				continue
+			}
+			if err := space.Write(pfn, 0, data, nil); err != nil {
+				x.Destroy(rec.ID, nil)
+				return nil, fmt.Errorf("toolstack: restore pfn %d: %w", pfn, err)
+			}
 		}
 	}
 	// The entire allocated memory is charged, used or not (§6.1).
 	if meter != nil {
-		meter.Charge(meter.Costs().ImagePageRestore, len(img.pages))
+		meter.Charge(meter.Costs().ImagePageRestore, img.npages)
 	}
 	return rec, nil
 }
