@@ -1,0 +1,142 @@
+// Command nephele-lint is a multichecker for the clone pipeline's
+// concurrency and determinism invariants. It runs four analyzers
+// (DESIGN.md §11) over the module from source:
+//
+//	lockorder   — shard-lock acquisitions must be single or ascending
+//	determinism — no wall clock / unseeded rand / map iteration in
+//	              virtual-time packages
+//	pairedops   — Share/Alloc/AddSharer paired with release on every
+//	              error path
+//	seqlock     — no plain access to fields accessed via sync/atomic
+//
+// Usage:
+//
+//	go run ./cmd/nephele-lint ./...
+//	go run ./cmd/nephele-lint -only lockorder,seqlock ./internal/mem
+//
+// Exit status is 1 if any finding survives the //nephele:*-ok escape
+// hatches, 0 otherwise. -v also prints a per-package summary of waived
+// findings so annotation drift is visible in CI logs.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"go/build"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nephele/internal/analysis"
+	"nephele/internal/analysis/determinism"
+	"nephele/internal/analysis/lockorder"
+	"nephele/internal/analysis/pairedops"
+	"nephele/internal/analysis/seqlock"
+)
+
+var all = []*analysis.Analyzer{
+	lockorder.Analyzer,
+	determinism.Analyzer,
+	pairedops.Analyzer,
+	seqlock.Analyzer,
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "also report suppressed findings")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nephele-lint [-v] [-only a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nephele-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nephele-lint:", err)
+		os.Exit(2)
+	}
+
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		var expanded []string
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := rest
+			if root == "." || root == "" {
+				root = loader.ModuleDir
+			}
+			expanded, err = analysis.PackageDirs(root)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nephele-lint:", err)
+				os.Exit(2)
+			}
+		} else {
+			expanded = []string{pat}
+		}
+		for _, d := range expanded {
+			abs, err := filepath.Abs(d)
+			if err == nil && !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, abs)
+			}
+		}
+	}
+
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "nephele-lint:", err)
+			exit = 2
+			continue
+		}
+		findings, suppressed, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nephele-lint:", err)
+			exit = 2
+			continue
+		}
+		for _, d := range findings {
+			fmt.Println(d)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+		if *verbose && len(suppressed) > 0 {
+			fmt.Printf("# %s: %d finding(s) waived by annotation\n", pkg.Path, len(suppressed))
+			for _, d := range suppressed {
+				fmt.Printf("#   %s\n", d)
+			}
+		}
+	}
+	os.Exit(exit)
+}

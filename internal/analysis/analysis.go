@@ -1,0 +1,148 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package and reports Diagnostics. The container this repo is
+// grown in has no network access to the module proxy, so rather than
+// depending on x/tools the subset the nephele analyzers need (single-pass
+// analyzers, suppression comments, analysistest-style fixtures) is
+// implemented here on top of go/ast, go/types and go/importer alone. The
+// API shape deliberately follows x/tools so the analyzers could be ported
+// to real go/analysis Analyzers by swapping this import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph description shown by nephele-lint -help.
+	Doc string
+	// Suppress is the escape-hatch comment token (e.g.
+	// "nephele:lockorder-ok"): a diagnostic whose line, or the line
+	// immediately above it, carries a comment containing the token is
+	// dropped. Empty means no escape hatch.
+	Suppress string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings silenced by the analyzer's escape-hatch
+	// comment; Run returns them separately so tools can count them.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to pkg and returns the surviving diagnostics
+// and the ones silenced by escape-hatch comments, both sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic, err error) {
+	sup := newSuppressions(pkg)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if a.Suppress != "" && sup.matches(d.Pos, a.Suppress) {
+				d.Suppressed = true
+				suppressed = append(suppressed, d)
+				continue
+			}
+			findings = append(findings, d)
+		}
+	}
+	byPos := func(s []Diagnostic) func(i, j int) bool {
+		return func(i, j int) bool {
+			a, b := s[i].Pos, s[j].Pos
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return s[i].Message < s[j].Message
+		}
+	}
+	sort.Slice(findings, byPos(findings))
+	sort.Slice(suppressed, byPos(suppressed))
+	return findings, suppressed, nil
+}
+
+// suppressions indexes every comment line of a package so escape-hatch
+// lookups are O(1) per diagnostic.
+type suppressions struct {
+	// byLine maps file -> line -> concatenated comment text on that line.
+	byLine map[string]map[int]string
+}
+
+func newSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				m := s.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					s.byLine[pos.Filename] = m
+				}
+				// A multi-line /* */ comment registers on its start
+				// line only; escape hatches are expected to be //
+				// line comments anyway.
+				m[pos.Line] += " " + c.Text
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether the diagnostic position is covered by a comment
+// containing token on the same line or the line immediately above.
+func (s *suppressions) matches(pos token.Position, token string) bool {
+	m := s.byLine[pos.Filename]
+	if m == nil {
+		return false
+	}
+	return strings.Contains(m[pos.Line], token) ||
+		strings.Contains(m[pos.Line-1], token)
+}

@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	// The analyzer only fires inside the virtual-time target packages;
+	// point it at the fixture tree for the duration of the test.
+	old := determinism.Targets
+	determinism.Targets = []string{"nephele/internal/analysis/determinism/testdata"}
+	defer func() { determinism.Targets = old }()
+
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), determinism.Analyzer)
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), lockorder.Analyzer)
+}

@@ -1,0 +1,13 @@
+package pairedops_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/pairedops"
+)
+
+func TestPairedops(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), pairedops.Analyzer)
+}

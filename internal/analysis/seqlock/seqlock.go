@@ -1,0 +1,114 @@
+// Package seqlock flags mixed atomic/plain access to the same field.
+//
+// The sharded pool's aggregate counters (internal/mem: shard.free,
+// shard.shared, Memory.accSeq) are read outside any lock under a
+// seqlock-style retry loop, so every access to them must go through
+// sync/atomic — one plain `sh.free++` next to atomic readers is a data
+// race the race detector only catches on the schedules it happens to see.
+// The typed atomics (atomic.Int64 et al.) make the discipline structural,
+// but call-style atomics (atomic.AddInt64(&s.n, 1)) do not: nothing stops
+// a plain read of s.n elsewhere. This analyzer closes that gap: any field
+// that is accessed via a sync/atomic function somewhere in the package
+// must be accessed that way everywhere in the package.
+//
+// Initialization before the value is shared (constructors) is a common
+// legitimate exception — waive it with //nephele:seqlock-ok and a
+// justification.
+package seqlock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nephele/internal/analysis"
+)
+
+// Analyzer is the seqlock pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "seqlock",
+	Doc:      "flags plain reads/writes of fields that are accessed via sync/atomic elsewhere in the package",
+	Suppress: "nephele:seqlock-ok",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields whose address is taken by a sync/atomic call, and the
+	// selector nodes sanctioned by appearing inside such calls.
+	atomicFields := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldOf(pass, sel); obj != nil {
+					atomicFields[obj] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other selection of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			obj := fieldOf(pass, sel)
+			if obj == nil || !atomicFields[obj] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed via sync/atomic elsewhere in this package; use the atomic API (or annotate a pre-publication initialization)", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

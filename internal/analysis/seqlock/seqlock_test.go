@@ -1,0 +1,13 @@
+package seqlock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/seqlock"
+)
+
+func TestSeqlock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), seqlock.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package a seeds seqlock violations: hits is accessed via sync/atomic in
+// one place and plainly in another.
+package a
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access to hits; total is plain-only.
+type counter struct {
+	hits  int64
+	total int64
+}
+
+// IncAtomic marks hits as an atomically accessed field.
+func (c *counter) IncAtomic() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ReadRacy reads hits without the atomic API.
+func (c *counter) ReadRacy() int64 {
+	return c.hits // want `plain access to field hits`
+}
+
+// ReadAtomic is the sanctioned way to read hits.
+func (c *counter) ReadAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// IncPlain touches total, which is never accessed atomically, so plain
+// access is fine.
+func (c *counter) IncPlain() {
+	c.total++
+}
+
+// NewCounter initializes hits before the counter is shared.
+func NewCounter() *counter {
+	c := &counter{}
+	c.hits = 42 //nephele:seqlock-ok — not yet published to other goroutines
+	return c
+}

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"errors"
+	"go/build"
+	"testing"
+
+	"nephele/internal/analysis"
+	"nephele/internal/analysis/determinism"
+	"nephele/internal/analysis/lockorder"
+	"nephele/internal/analysis/pairedops"
+	"nephele/internal/analysis/seqlock"
+)
+
+// TestTreeIsClean runs every analyzer over the whole module and fails on
+// any unwaived finding, so `go test ./...` enforces the same invariants CI
+// checks via cmd/nephele-lint.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint type-checks the module; skipped with -short")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dirs, err := analysis.PackageDirs(loader.ModuleDir)
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{
+		lockorder.Analyzer,
+		determinism.Analyzer,
+		pairedops.Analyzer,
+		seqlock.Analyzer,
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				continue
+			}
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		findings, _, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("run %s: %v", dir, err)
+		}
+		for _, d := range findings {
+			t.Errorf("%s", d)
+		}
+	}
+}

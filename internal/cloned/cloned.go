@@ -373,13 +373,13 @@ func (d *Daemon) serveOne(n hv.CloneNotification, meter *vclock.Meter) error {
 	meter.Charge(meter.Costs().Introduce, 1)
 	base := fmt.Sprintf("/local/domain/%d", n.Child)
 	childName := fmt.Sprintf("%s-clone-%d", info.name, n.Child)
-	writes := map[string]string{
-		base + "/name":   childName,
-		base + "/domid":  strconv.FormatUint(uint64(n.Child), 10),
-		base + "/parent": strconv.FormatUint(uint64(n.Parent), 10),
+	writes := [...]struct{ key, val string }{
+		{base + "/name", childName},
+		{base + "/domid", strconv.FormatUint(uint64(n.Child), 10)},
+		{base + "/parent", strconv.FormatUint(uint64(n.Parent), 10)},
 	}
-	for k, v := range writes {
-		if err := d.Store.Write(k, v, meter); err != nil {
+	for _, w := range writes {
+		if err := d.Store.Write(w.key, w.val, meter); err != nil {
 			return err
 		}
 	}

@@ -662,6 +662,7 @@ func (h *Hypervisor) CloneOpReset(child DomID, meter *vclock.Meter) (int, error)
 func resetSpace(child, parent *mem.Space, machine *mem.Memory, meter *vclock.Meter) (int, error) {
 	restored := 0
 	reShared := false
+	var firstErr error
 	for _, pfn := range child.TakeDirty() {
 		k, err := child.Kind(pfn)
 		if err != nil || k != mem.KindRegular {
@@ -683,37 +684,51 @@ func resetSpace(child, parent *mem.Space, machine *mem.Memory, meter *vclock.Met
 		// parent holds it privately (e.g. the parent faulted too).
 		pm, err := parent.MFNOf(pfn)
 		if err != nil {
-			return restored, err
+			firstErr = err
+			break
 		}
 		powner, err := machine.Owner(pm)
 		if err != nil {
-			return restored, err
+			firstErr = err
+			break
 		}
 		switch powner {
 		case mem.DomIDCOW:
 			if err := machine.AddSharer(pm, 1); err != nil {
-				return restored, err
+				firstErr = err
 			}
 		case parent.Dom():
 			if err := machine.Share(parent.Dom(), pm, 2, meter); err != nil {
-				return restored, err
+				firstErr = err
+			} else {
+				reShared = true
 			}
-			reShared = true
 		default:
-			return restored, fmt.Errorf("hv: clone_reset: parent pfn %d frame owned by %d", pfn, powner)
+			firstErr = fmt.Errorf("hv: clone_reset: parent pfn %d frame owned by %d", pfn, powner)
+		}
+		if firstErr != nil {
+			break
 		}
 		if err := child.Remap(pfn, pm, true); err != nil {
-			return restored, err
+			// The child will never consume the sharer reference taken
+			// above: drop it so a failed reset does not leak a
+			// reference on the parent's frame. The frame stays with
+			// dom_cow (the parent as sole sharer) and MarkAllCOW below
+			// keeps the parent write-protected on it.
+			_ = machine.DropShared(pm)
+			firstErr = err
+			break
 		}
 		restored++
 	}
 	if reShared {
 		// Frames newly moved to dom_cow must be COW-protected in the
-		// parent as well.
+		// parent as well — including the ones re-shared by iterations
+		// before a failure, which the old early returns skipped.
 		parent.MarkAllCOW()
 	}
 	if meter != nil {
 		meter.Charge(meter.Costs().CloneResetPage, restored)
 	}
-	return restored, nil
+	return restored, firstErr
 }

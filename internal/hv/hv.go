@@ -2,6 +2,7 @@ package hv
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"nephele/internal/evtchn"
@@ -127,14 +128,17 @@ func (h *Hypervisor) Domain(id DomID) (*Domain, error) {
 	return d, nil
 }
 
-// Domains lists live domain IDs (including Dom0).
+// Domains lists live domain IDs (including Dom0) in ascending order, so
+// callers that iterate domains (toolstack listings, fuzzing sweeps) see a
+// deterministic sequence.
 func (h *Hypervisor) Domains() []DomID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make([]DomID, 0, len(h.domains))
-	for id := range h.domains {
+	for id := range h.domains { //nephele:nondeterministic-ok — sorted below
 		out = append(out, id)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -62,9 +62,7 @@ func (r *notifyRing) popAll() []CloneNotification {
 		}
 	}
 	r.entries = r.entries[:0]
-	for child := range r.index {
-		delete(r.index, child)
-	}
+	clear(r.index)
 	r.live = 0
 	return out
 }

@@ -338,7 +338,12 @@ func (m *Memory) maskOf(n int, mfnAt func(int) MFN) uint32 {
 
 // lockMask locks the shards in mask in ascending index order — the single
 // pool-wide lock order that rules out lock-order inversion between
-// Snapshot, ReleaseN and every other multi-shard operation.
+// Snapshot, ReleaseN and every other multi-shard operation. It is the one
+// designated multi-shard acquisition point: everything else must lock one
+// shard at a time or funnel through it (enforced by nephele-lint).
+//
+//nephele:lockorder-helper — set bits are walked low to high, so
+// acquisition order is ascending by construction.
 func (m *Memory) lockMask(mask uint32) {
 	for w := mask; w != 0; w &= w - 1 {
 		m.shards[bits.TrailingZeros32(w)].mu.Lock()

@@ -1,0 +1,16 @@
+//go:build tools
+
+// Package tools pins the versions of build-time tooling that is not a
+// module dependency.
+//
+// The usual tools.go idiom blank-imports each tool so `go mod tidy`
+// records it in go.mod, but this module is built in offline environments
+// where the module proxy is unreachable, so go.mod cannot carry external
+// requirements. Instead CI installs the tools itself and reads the pinned
+// versions out of this file (see .github/workflows/ci.yml); bump a version
+// here and every CI run follows.
+package tools
+
+// StaticcheckVersion is the honnef.co/go/tools release CI installs and
+// runs. 2024.1.1 is the last series that supports go1.22 language mode.
+const StaticcheckVersion = "2024.1.1"
