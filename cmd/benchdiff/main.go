@@ -201,7 +201,20 @@ func main() {
 			status = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-55s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, b.NsPerOp, g.NsPerOp, delta*100, status)
+		allocs := ""
+		// Allocation gate: compared only when both sides recorded allocs.
+		// The relative threshold plus a +2 absolute grace keeps tiny counts
+		// (1-4 allocs/op, where one alloc is +25%) from false-positiving,
+		// while still catching a hot path growing per-op garbage — the
+		// observability layer's disabled-sink contract.
+		if b.AllocsPerOp > 0 && g.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf("  %6.0f -> %6.0f allocs/op", b.AllocsPerOp, g.AllocsPerOp)
+			if g.AllocsPerOp > b.AllocsPerOp*(1+*threshold)+2 {
+				status = "ALLOC REGRESSION"
+				regressions++
+			}
+		}
+		fmt.Printf("%-55s %14.0f -> %14.0f ns/op  %+6.1f%%%s  %s\n", name, b.NsPerOp, g.NsPerOp, delta*100, allocs, status)
 	}
 	reportSpeedups(cpus)
 	if regressions > 0 {

@@ -6,6 +6,7 @@
 //	nephele-bench -fig 4           # one figure at paper scale
 //	nephele-bench -fig all -quick  # every figure at reduced scale
 //	nephele-bench -fig 6 -cpuprofile cpu.prof -memprofile mem.prof
+//	nephele-bench -fig 4 -trace out.json  # Chrome-trace of the clone spans
 //
 // Each figure prints its virtual-time series followed by the host-side
 // cost of regenerating it (wall-clock, allocations), so simulator
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +25,13 @@ import (
 	"time"
 
 	"nephele/internal/bench"
+	"nephele/internal/obs"
 	"nephele/internal/vclock"
 )
+
+// traceSink, when non-nil, collects the clone-pipeline span tree of the
+// figures that support tracing (currently fig 4's xs_clone curve).
+var traceSink *obs.Trace
 
 func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11, 'mp' (multi-parent throughput) or 'all'")
@@ -32,7 +39,12 @@ func main() {
 	csvDir := flag.String("csv", "", "also write one CSV per series into this directory (for plotting)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the last figure) to this file")
+	traceFile := flag.String("trace", "", "record clone-pipeline spans (fig 4) and write Chrome-trace JSON to this file")
 	flag.Parse()
+
+	if *traceFile != "" {
+		traceSink = obs.NewTrace()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -94,6 +106,42 @@ func main() {
 		fmt.Printf("(regenerated in %s)\n\n", wall)
 	}
 
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := traceSink.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(traceSink.Summary())
+		fmt.Printf("(%d spans written to %s)\n\n", traceSink.Len(), *traceFile)
+		// The observed platform's metrics registry accumulated beside the
+		// spans; dump the JSON snapshot (the expvar payload) next to the
+		// trace and print the text table.
+		if reg := traceSink.Metrics(); reg != nil {
+			mpath := strings.TrimSuffix(*traceFile, filepath.Ext(*traceFile)) + "-metrics.json"
+			blob, err := json.MarshalIndent(reg.Var()(), "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: metrics: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(mpath, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(reg.Summary())
+			fmt.Printf("(metrics snapshot written to %s)\n\n", mpath)
+		}
+	}
+
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -143,6 +191,7 @@ func runFig4(quick bool) (*bench.Figure, error) {
 	if quick {
 		cfg.Instances, cfg.SampleEvery = 100, 25
 	}
+	cfg.Trace = traceSink
 	return bench.Fig4(cfg)
 }
 

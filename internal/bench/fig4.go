@@ -7,6 +7,7 @@ import (
 	"nephele/internal/core"
 	"nephele/internal/guest"
 	"nephele/internal/netsim"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 )
 
@@ -17,6 +18,11 @@ type Fig4Config struct {
 	// SampleEvery thins the reported points (raw data still drives the
 	// platform).
 	SampleEvery int
+	// Trace, when non-nil, is attached to the clone (xs_clone) curve's
+	// platform: every fork() records its two-stage span tree into it.
+	// Spans never charge the virtual clock, so the curve's numbers are
+	// identical with and without a trace.
+	Trace *obs.Trace
 }
 
 // DefaultFig4 returns the paper's configuration.
@@ -125,7 +131,11 @@ func Fig4(cfg Fig4Config) (*Figure, error) {
 	}
 
 	// --- clone (xs_clone) ---
-	clone, err := fig4CloneCurve(fig4Platform(false), "clone", cfg, sample)
+	cloneP := fig4Platform(false)
+	if cfg.Trace != nil {
+		cloneP.Observe(cfg.Trace)
+	}
+	clone, err := fig4CloneCurve(cloneP, "clone", cfg, sample)
 	if err != nil {
 		return nil, err
 	}

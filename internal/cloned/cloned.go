@@ -18,6 +18,7 @@ import (
 	"nephele/internal/devices"
 	"nephele/internal/fault"
 	"nephele/internal/hv"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
 	"nephele/internal/xenstore"
@@ -72,7 +73,10 @@ func (o Options) retryBudget() int {
 	}
 }
 
-// FailureStats counts the daemon's failure handling activity.
+// FailureStats counts the daemon's failure handling activity. It is a
+// point-in-time read of the daemon's registry counters (the hypervisor's
+// metrics registry is the single source of truth), kept as a struct so
+// existing callers and tests keep working.
 type FailureStats struct {
 	// Failures is the number of second stages that ultimately failed
 	// (fatal fault, or transient retries exhausted).
@@ -85,6 +89,15 @@ type FailureStats struct {
 	Rollbacks int
 	// Aborts is the number of CloneOpAbort hypercalls issued.
 	Aborts int
+}
+
+// clonedMetrics caches the daemon's instruments in the shared registry.
+type clonedMetrics struct {
+	failures      *obs.Counter   // cloned.failures
+	retries       *obs.Counter   // cloned.retries
+	rollbacks     *obs.Counter   // cloned.rollbacks
+	aborts        *obs.Counter   // cloned.aborts
+	secondStageUS *obs.Histogram // cloned.second_stage_us: per-child second-stage virtual time
 }
 
 // parentInfo is the cached Xenstore view of a parent domain, read once on
@@ -120,12 +133,13 @@ type Daemon struct {
 	// so parallel batch serving pins the same cores a sequential sweep
 	// would have.
 	pinReserved map[hv.DomID]int
-	failures    FailureStats
+	met         clonedMetrics
 }
 
 // New creates the daemon and enables cloning globally (xencloned is
 // responsible for that, §5.1).
 func New(hyp *hv.Hypervisor, store *xenstore.Store, xl *toolstack.XL, net toolstack.Switch, opts Options) *Daemon {
+	reg := hyp.Metrics()
 	d := &Daemon{
 		HV:          hyp,
 		Store:       store,
@@ -135,6 +149,13 @@ func New(hyp *hv.Hypervisor, store *xenstore.Store, xl *toolstack.XL, net toolst
 		Opts:        opts,
 		cache:       make(map[hv.DomID]*parentInfo),
 		secondStage: make(map[hv.DomID]vclock.Duration),
+		met: clonedMetrics{
+			failures:      reg.Counter("cloned.failures"),
+			retries:       reg.Counter("cloned.retries"),
+			rollbacks:     reg.Counter("cloned.rollbacks"),
+			aborts:        reg.Counter("cloned.aborts"),
+			secondStageUS: reg.Histogram("cloned.second_stage_us"),
+		},
 	}
 	hyp.SetCloningEnabled(true)
 	return d
@@ -147,11 +168,15 @@ func (d *Daemon) Served() int {
 	return d.served
 }
 
-// FailureStats reports the daemon's failure/retry/rollback counters.
+// FailureStats reports the daemon's failure/retry/rollback counters, read
+// from the shared metrics registry.
 func (d *Daemon) FailureStats() FailureStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.failures
+	return FailureStats{
+		Failures:  int(d.met.failures.Value()),
+		Retries:   int(d.met.retries.Value()),
+		Rollbacks: int(d.met.rollbacks.Value()),
+		Aborts:    int(d.met.aborts.Value()),
+	}
 }
 
 // SecondStageDuration reports the second-stage virtual time spent for a
@@ -185,9 +210,17 @@ func (d *Daemon) InvalidateCache(parent hv.DomID) {
 // paper experiment — is therefore served exactly like the sequential
 // daemon, on the caller's meter.
 func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
-	if meter == nil {
-		meter = vclock.NewMeter(nil)
-	}
+	return d.Serve(obs.Ctx(meter))
+}
+
+// Serve is the canonical OpCtx form of ServeAll: the context carries the
+// meter the round charges onto, the trace its second-stage spans land in,
+// and the fault scope of the round. A single-parent batch serves on the
+// caller's context directly; multi-parent batches serve each group on a
+// detached context whose meter and sub-trace merge back in group order.
+func (d *Daemon) Serve(ctx obs.OpCtx) (int, error) {
+	ctx = ctx.EnsureMeter(nil)
+	meter := ctx.Meter()
 	notes := d.HV.PopNotifications()
 	if len(notes) == 0 {
 		return 0, nil
@@ -215,10 +248,10 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 	}
 
 	errSlots := make([]error, len(notes))
-	serveGroup := func(g *group, gm *vclock.Meter) int {
+	serveGroup := func(g *group, gctx obs.OpCtx) int {
 		served := 0
 		for k, n := range g.notes {
-			if err := d.serveOneIsolated(n, gm); err != nil {
+			if err := d.serveOneIsolated(n, gctx); err != nil {
 				errSlots[g.idx[k]] = fmt.Errorf("cloned: second stage for %d: %w", n.Child, err)
 				continue
 			}
@@ -229,7 +262,7 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 
 	served := 0
 	if len(order) == 1 {
-		served = serveGroup(groups[order[0]], meter)
+		served = serveGroup(groups[order[0]], ctx)
 		return served, errors.Join(errSlots...)
 	}
 
@@ -237,7 +270,11 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 	if workers > len(order) {
 		workers = len(order)
 	}
+	// Each group serves on a detached context (private meter, private
+	// sub-trace); both merge back in group order below, so virtual time and
+	// span order never depend on worker scheduling.
 	meters := make([]*vclock.Meter, len(order))
+	subs := make([]*obs.Trace, len(order))
 	counts := make([]int, len(order))
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -246,9 +283,9 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 		go func() {
 			defer wg.Done()
 			for gi := range work {
-				gm := vclock.NewMeter(meter.Costs())
-				counts[gi] = serveGroup(groups[order[gi]], gm)
-				meters[gi] = gm
+				gctx, sub := ctx.Detach()
+				counts[gi] = serveGroup(groups[order[gi]], gctx)
+				meters[gi], subs[gi] = gctx.Meter(), sub
 			}
 		}()
 	}
@@ -257,8 +294,11 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 	}
 	close(work)
 	wg.Wait()
+	trace := ctx.Trace()
 	for gi := range order {
+		offset := meter.Elapsed()
 		meter.Add(meters[gi].Elapsed())
+		trace.Absorb(subs[gi], ctx.SpanID(), offset)
 		served += counts[gi]
 	}
 	return served, errors.Join(errSlots...)
@@ -279,8 +319,15 @@ func (d *Daemon) ServeAll(meter *vclock.Meter) (int, error) {
 // time goes to its own CloneRequest.Meter, so batching never leaks charges
 // between parents.
 func (d *Daemon) CloneAll(reqs []hv.CloneRequest, meter *vclock.Meter) ([]hv.CloneBatchResult, int, error) {
+	return d.CloneRound(obs.Ctx(meter), reqs)
+}
+
+// CloneRound is the canonical OpCtx form of CloneAll. The context's meter
+// receives the Serve charges; each request's first stage charges the
+// request's own context, so batching never leaks charges between parents.
+func (d *Daemon) CloneRound(ctx obs.OpCtx, reqs []hv.CloneRequest) ([]hv.CloneResult, int, error) {
 	results := d.HV.CloneOpCloneBatch(reqs)
-	served, err := d.ServeAll(meter)
+	served, err := d.Serve(ctx)
 	for _, r := range results {
 		if r.Done != nil {
 			<-r.Done
@@ -317,7 +364,7 @@ func (d *Daemon) reservePins(notes []hv.CloneNotification) {
 // the retry budget; a fatal fault (or an exhausted budget) aborts the
 // clone through CLONEOP so the parent resumes with the child reported
 // failed.
-func (d *Daemon) serveOneIsolated(n hv.CloneNotification, meter *vclock.Meter) error {
+func (d *Daemon) serveOneIsolated(n hv.CloneNotification, ctx obs.OpCtx) error {
 	defer func() {
 		// The child reached a terminal state either way; its pin
 		// reservation (if any) is spent.
@@ -325,21 +372,17 @@ func (d *Daemon) serveOneIsolated(n hv.CloneNotification, meter *vclock.Meter) e
 		delete(d.pinReserved, n.Child)
 		d.mu.Unlock()
 	}()
+	meter := ctx.Meter()
 	budget := d.Opts.retryBudget()
 	for attempt := 0; ; attempt++ {
-		err := d.serveOne(n, meter)
+		err := d.serveOne(n, ctx)
 		if err == nil {
 			return nil
 		}
-		d.rollback(n, meter)
-		d.mu.Lock()
-		d.failures.Rollbacks++
-		retry := fault.IsTransient(err) && attempt < budget
-		if retry {
-			d.failures.Retries++
-		}
-		d.mu.Unlock()
-		if retry {
+		d.rollback(n, ctx)
+		d.met.rollbacks.Inc()
+		if fault.IsTransient(err) && attempt < budget {
+			d.met.retries.Inc()
 			// Exponential backoff: base, 2x base, 4x base, ...
 			meter.Charge(meter.Costs().CloneRetryBase, 1<<attempt)
 			continue
@@ -347,11 +390,9 @@ func (d *Daemon) serveOneIsolated(n hv.CloneNotification, meter *vclock.Meter) e
 		// Fatal (or retries exhausted): abort the half-clone so the
 		// parent unblocks and every hypervisor-side resource of the
 		// child is released.
-		d.mu.Lock()
-		d.failures.Failures++
-		d.failures.Aborts++
-		d.mu.Unlock()
-		if aerr := d.HV.CloneOpAbort(n.Child, meter); aerr != nil {
+		d.met.failures.Inc()
+		d.met.aborts.Inc()
+		if aerr := d.HV.CloneAbort(ctx, n.Child); aerr != nil {
 			return errors.Join(err, fmt.Errorf("cloned: abort of %d: %w", n.Child, aerr))
 		}
 		return err
@@ -359,7 +400,10 @@ func (d *Daemon) serveOneIsolated(n hv.CloneNotification, meter *vclock.Meter) e
 }
 
 // serveOne runs the full second stage for one clone notification.
-func (d *Daemon) serveOne(n hv.CloneNotification, meter *vclock.Meter) error {
+func (d *Daemon) serveOne(n hv.CloneNotification, ctx obs.OpCtx) error {
+	meter := ctx.Meter()
+	ctx, span := ctx.StartSpan("second-stage")
+	defer span.End()
 	start := meter.Elapsed()
 	meter.Charge(meter.Costs().XenclonedWake, 1)
 
@@ -370,45 +414,59 @@ func (d *Daemon) serveOne(n hv.CloneNotification, meter *vclock.Meter) error {
 
 	// Step 2.1: introduce the child to xenstored (augmented with the
 	// parent ID) and write its base entries.
-	meter.Charge(meter.Costs().Introduce, 1)
-	base := fmt.Sprintf("/local/domain/%d", n.Child)
-	childName := fmt.Sprintf("%s-clone-%d", info.name, n.Child)
-	writes := [...]struct{ key, val string }{
-		{base + "/name", childName},
-		{base + "/domid", strconv.FormatUint(uint64(n.Child), 10)},
-		{base + "/parent", strconv.FormatUint(uint64(n.Parent), 10)},
-	}
-	for _, w := range writes {
-		if err := d.Store.Write(w.key, w.val, meter); err != nil {
-			return err
+	if err := func() error {
+		_, ispan := ctx.StartSpan("xenstore-intro")
+		defer ispan.End()
+		meter.Charge(meter.Costs().Introduce, 1)
+		base := fmt.Sprintf("/local/domain/%d", n.Child)
+		childName := fmt.Sprintf("%s-clone-%d", info.name, n.Child)
+		writes := [...]struct{ key, val string }{
+			{base + "/name", childName},
+			{base + "/domid", strconv.FormatUint(uint64(n.Child), 10)},
+			{base + "/parent", strconv.FormatUint(uint64(n.Parent), 10)},
 		}
-	}
-	if _, err := d.XL.AdoptClone(n.Parent, n.Child); err != nil {
+		for _, w := range writes {
+			if err := d.Store.Write(w.key, w.val, meter); err != nil {
+				return err
+			}
+		}
+		_, err := d.XL.AdoptClone(n.Parent, n.Child)
+		return err
+	}(); err != nil {
 		return err
 	}
 
 	if d.Opts.PinCloneVCPUs {
-		if err := d.pinVCPUs(n.Child); err != nil {
+		_, fspan := ctx.StartSpan("finalize")
+		err := d.pinVCPUs(n.Child)
+		fspan.End()
+		if err != nil {
 			return err
 		}
 	}
 
 	if !d.Opts.SkipDevices {
-		if err := d.cloneDevices(n, info, meter); err != nil {
+		_, dspan := ctx.StartSpan("device-clone")
+		err := d.cloneDevices(n, info, meter)
+		dspan.End()
+		if err != nil {
 			return err
 		}
 	}
 
 	// Step 2.4: report completion; the hypervisor resumes the parent,
-	// and the child unless configured to stay paused.
-	if err := d.HV.CloneOpCompletion(n.Child, !d.Opts.LeaveChildrenPaused, meter); err != nil {
+	// and the child unless configured to stay paused. CloneCompletion
+	// records its own span on the passed context.
+	if err := d.HV.CloneCompletion(ctx, n.Child, !d.Opts.LeaveChildrenPaused); err != nil {
 		return err
 	}
 
+	dur := meter.Elapsed() - start
 	d.mu.Lock()
-	d.secondStage[n.Child] = meter.Elapsed() - start
+	d.secondStage[n.Child] = dur
 	d.served++
 	d.mu.Unlock()
+	d.met.secondStageUS.Observe(int64(dur / 1000))
 	return nil
 }
 
@@ -419,8 +477,11 @@ func (d *Daemon) serveOne(n hv.CloneNotification, meter *vclock.Meter) error {
 // being absent, so rollback is safe no matter where the second stage
 // failed, and running it twice is harmless. The hypervisor-side teardown
 // (domain, COW references, clone budget) is NOT done here — that is
-// CloneOpAbort's job, invoked only when the failure is terminal.
-func (d *Daemon) rollback(n hv.CloneNotification, meter *vclock.Meter) {
+// CloneAbort's job, invoked only when the failure is terminal.
+func (d *Daemon) rollback(n hv.CloneNotification, ctx obs.OpCtx) {
+	meter := ctx.Meter()
+	_, span := ctx.StartSpan("rollback")
+	defer span.End()
 	c := uint32(n.Child)
 	// The parent inventory bounds what could have been cloned. If it is
 	// unreadable the failure happened before any device work, so the

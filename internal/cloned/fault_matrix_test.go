@@ -11,6 +11,7 @@ import (
 	"nephele/internal/fault"
 	"nephele/internal/hv"
 	"nephele/internal/netsim"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
 	"nephele/internal/xenstore"
@@ -583,6 +584,6 @@ func TestRollbackIsIdempotent(t *testing.T) {
 	waitDone(t, done)
 
 	// ServeAll already rolled back; a second explicit pass changes nothing.
-	r.d.rollback(hv.CloneNotification{Parent: rec.ID, Child: kids[0]}, vclock.NewMeter(nil))
+	r.d.rollback(hv.CloneNotification{Parent: rec.ID, Child: kids[0]}, obs.Ctx(vclock.NewMeter(nil)))
 	assertSame(t, pre, r.snapshot(t))
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nephele/internal/mem"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
 )
@@ -41,14 +42,26 @@ type MigrateResult struct {
 }
 
 // Migrate moves a running domain from p to target. The returned record
-// belongs to target's toolstack.
+// belongs to target's toolstack. It is the legacy meter-threading form of
+// MigrateOp, kept so existing callers and tests migrate incrementally; the
+// trace attached with Observe rides along.
 func (p *Platform) Migrate(id DomID, target *Platform, name string, meter *vclock.Meter) (*toolstack.Record, *MigrateResult, error) {
+	return p.MigrateOp(p.opCtx(meter), id, target, name)
+}
+
+// MigrateOp is the canonical form of Migrate. The recorded span tree is
+//
+//	migrate → save + restore + verify-p2m
+//
+// covering the stop-and-copy phases on the operation's meter.
+func (p *Platform) MigrateOp(ctx obs.OpCtx, id DomID, target *Platform, name string) (*toolstack.Record, *MigrateResult, error) {
 	if target == p {
 		return nil, nil, ErrMigrateSelf
 	}
-	if meter == nil {
-		meter = p.NewMeter()
-	}
+	ctx = ctx.EnsureMeter(p.Costs)
+	meter := ctx.Meter()
+	ctx, span := ctx.StartSpan("migrate")
+	defer span.End()
 	dom, err := p.HV.Domain(id)
 	if err != nil {
 		return nil, nil, err
@@ -68,7 +81,9 @@ func (p *Platform) Migrate(id DomID, target *Platform, name string, meter *vcloc
 	if err := p.HV.Pause(id); err != nil {
 		return nil, nil, err
 	}
+	_, sspan := ctx.StartSpan("save")
 	img, err := p.XL.Save(id, meter)
+	sspan.End()
 	if err != nil {
 		p.HV.Unpause(id)
 		return nil, nil, err
@@ -81,7 +96,9 @@ func (p *Platform) Migrate(id DomID, target *Platform, name string, meter *vcloc
 	if name == "" {
 		name = cfg.Name
 	}
+	_, rspan := ctx.StartSpan("restore")
 	newRec, err := target.XL.Restore(img, name, meter)
+	rspan.End()
 	if err != nil {
 		p.HV.Unpause(id)
 		return nil, nil, err
@@ -92,13 +109,16 @@ func (p *Platform) Migrate(id DomID, target *Platform, name string, meter *vcloc
 	if err != nil {
 		return nil, nil, err
 	}
+	_, vspan := ctx.StartSpan("verify-p2m")
 	for pfn := 0; pfn < newDom.Space().Pages(); pfn++ {
 		if _, err := newDom.Space().MFNOf(mem.PFN(pfn)); err != nil {
+			vspan.End()
 			target.XL.Destroy(newRec.ID, nil)
 			p.HV.Unpause(id)
 			return nil, nil, fmt.Errorf("core: target p2m incomplete at pfn %d: %w", pfn, err)
 		}
 	}
+	vspan.End()
 
 	// Commit: the source instance disappears.
 	if err := p.XL.Destroy(id, meter); err != nil {

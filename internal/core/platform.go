@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nephele/internal/cloned"
 	"nephele/internal/devices"
@@ -17,6 +18,7 @@ import (
 	"nephele/internal/hv"
 	"nephele/internal/mem"
 	"nephele/internal/netsim"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
 	"nephele/internal/xenstore"
@@ -81,6 +83,11 @@ type Platform struct {
 	mu sync.Mutex
 	// cloneTotals tracks total clone latencies per child for reporting.
 	cloneTotals map[DomID]vclock.Duration
+
+	// trace is the sink attached with Observe; the legacy meter-taking
+	// entry points pick it up so existing callers get spans without
+	// threading an OpCtx themselves.
+	trace atomic.Pointer[obs.Trace]
 }
 
 // NewPlatform builds a machine.
@@ -161,6 +168,42 @@ func (p *Platform) SetFaults(r *fault.Registry) {
 	p.Backends.Vbd.SetFaults(r)
 }
 
+// Observe attaches a trace sink to the platform: every subsequent clone
+// or migration started through the legacy meter-taking entry points
+// records its span tree into t, and the pool's opt-in hot-path
+// instrumentation (shard lock wait, COW faults) feeds the platform
+// metrics registry. Passing nil detaches the sink and restores the
+// uninstrumented fast paths. Spans never charge the virtual clock, so
+// observed and unobserved runs produce identical virtual-time results.
+func (p *Platform) Observe(t *obs.Trace) {
+	if t == nil {
+		p.trace.Store(nil)
+		p.HV.Memory.SetMetrics(nil)
+		return
+	}
+	t.SetMetrics(p.HV.Metrics())
+	p.HV.Memory.SetMetrics(p.HV.Metrics())
+	p.trace.Store(t)
+}
+
+// Metrics returns the platform's metrics registry — the single registry
+// the hypervisor, daemon and memory pool all feed.
+func (p *Platform) Metrics() *obs.Registry { return p.HV.Metrics() }
+
+// opCtx builds the operation context a legacy meter-taking entry point
+// runs under: the given meter (or a fresh platform meter) plus whatever
+// trace sink Observe attached.
+func (p *Platform) opCtx(meter *vclock.Meter) obs.OpCtx {
+	if meter == nil {
+		meter = p.NewMeter()
+	}
+	ctx := obs.Ctx(meter)
+	if t := p.trace.Load(); t != nil {
+		ctx = ctx.WithTrace(t)
+	}
+	return ctx
+}
+
 // Boot creates a domain with xl (the regular instantiation path).
 func (p *Platform) Boot(cfg toolstack.DomainConfig, meter *vclock.Meter) (*toolstack.Record, error) {
 	return p.XL.Create(cfg, meter)
@@ -191,22 +234,42 @@ type CloneResult struct {
 // Clone clones a running domain n times: the complete two-stage Nephele
 // operation, executed synchronously with exact virtual-time accounting.
 // caller is the domain invoking the CLONEOP hypercall — the guest itself
-// for fork(), or Dom0 when triggered from outside (fuzzing).
+// for fork(), or Dom0 when triggered from outside (fuzzing). It is the
+// legacy meter-threading form of CloneOp, kept so existing callers and
+// tests migrate incrementally; the trace attached with Observe rides
+// along.
 func (p *Platform) Clone(caller, target DomID, n int, meter *vclock.Meter) (*CloneResult, error) {
-	if meter == nil {
-		meter = p.NewMeter()
-	}
+	return p.CloneOp(p.opCtx(meter), caller, target, n)
+}
+
+// CloneOp is the canonical form of Clone: the operation context carries
+// the virtual-time meter, the optional trace sink and the fault scope in
+// one value. The recorded span tree is
+//
+//	clone-op → clone-request (first stage) + parent-paused → second-stage
+//
+// with parent-paused covering the daemon's work and the completion wait —
+// exactly the interval the parent is frozen waiting for its children.
+func (p *Platform) CloneOp(ctx obs.OpCtx, caller, target DomID, n int) (*CloneResult, error) {
+	ctx = ctx.EnsureMeter(p.Costs)
+	meter := ctx.Meter()
+	ctx, span := ctx.StartSpan("clone-op")
 	start := meter.Elapsed()
-	kids, stats, done, err := p.HV.CloneOpClone(caller, target, n, true, meter)
-	if err != nil {
-		return nil, err
+	r := p.HV.Clone(hv.CloneRequest{Caller: caller, Target: target, N: n, CopyRing: true, Ctx: ctx})
+	if r.Err != nil {
+		span.End()
+		return nil, r.Err
 	}
+	kids, stats, done := r.Children, r.Stats, r.Done
 	secondStart := meter.Elapsed()
-	_, serveErr := p.Cloned.ServeAll(meter)
+	pctx, pspan := ctx.StartSpan("parent-paused")
+	_, serveErr := p.Cloned.Serve(pctx)
 	// The parent resumes even when some second stages failed: failed
 	// children are aborted, which also releases their completion waits,
 	// so this wait cannot deadlock.
 	<-done
+	pspan.End()
+	span.End()
 	res := &CloneResult{
 		FirstStage:  stats.FirstStage,
 		SecondStage: meter.Elapsed() - secondStart,
@@ -244,22 +307,44 @@ func (p *Platform) Clone(caller, target DomID, n int, meter *vclock.Meter) (*Clo
 // every returned CloneResult reports as its SecondStage. The returned
 // slice is positionally parallel to reqs; an entry whose request failed
 // admission has only Err set. The error joins admission and second-stage
-// failures.
+// failures. It is the legacy meter-threading form of CloneManyOp, kept so
+// existing callers and tests migrate incrementally; the trace attached
+// with Observe rides along.
 func (p *Platform) CloneMany(reqs []hv.CloneRequest, meter *vclock.Meter) ([]*CloneResult, error) {
-	if meter == nil {
-		meter = p.NewMeter()
-	}
+	return p.CloneManyOp(p.opCtx(meter), reqs)
+}
+
+// CloneManyOp is the canonical form of CloneMany. ctx carries the meter
+// charged with the shared second-stage work and the optional trace sink;
+// each request that arrives without its own context inherits the sink
+// (each request's clone-request span tree is recorded top-level, one lane
+// per parent) around a private meter, preserving per-parent virtual-time
+// isolation.
+func (p *Platform) CloneManyOp(ctx obs.OpCtx, reqs []hv.CloneRequest) ([]*CloneResult, error) {
+	ctx = ctx.EnsureMeter(p.Costs)
+	meter := ctx.Meter()
+	ctx, span := ctx.StartSpan("clone-round")
+	defer span.End()
 	for i := range reqs {
-		if reqs[i].Meter == nil {
-			reqs[i].Meter = p.NewMeter()
+		if reqs[i].Ctx.Meter() == nil {
+			m := reqs[i].Meter
+			if m == nil {
+				m = p.NewMeter()
+			}
+			reqs[i].Ctx = reqs[i].Ctx.WithMeter(m)
+		}
+		if reqs[i].Ctx.Trace() == nil {
+			if t := ctx.Trace(); t != nil {
+				reqs[i].Ctx = reqs[i].Ctx.WithTrace(t)
+			}
 		}
 	}
 	starts := make([]vclock.Duration, len(reqs))
 	for i := range reqs {
-		starts[i] = reqs[i].Meter.Elapsed()
+		starts[i] = reqs[i].Ctx.Meter().Elapsed()
 	}
 	secondStart := meter.Elapsed()
-	batch, _, serveErr := p.Cloned.CloneAll(reqs, meter)
+	batch, _, serveErr := p.Cloned.CloneRound(ctx, reqs)
 	second := meter.Elapsed() - secondStart
 
 	errs := []error{serveErr}
@@ -273,7 +358,7 @@ func (p *Platform) CloneMany(reqs []hv.CloneRequest, meter *vclock.Meter) ([]*Cl
 		res := &CloneResult{
 			FirstStage:  b.Stats.FirstStage,
 			SecondStage: second,
-			Total:       reqs[i].Meter.Elapsed() - starts[i] + second,
+			Total:       reqs[i].Ctx.Meter().Elapsed() - starts[i] + second,
 			Stats:       b.Stats,
 		}
 		for _, k := range b.Children {

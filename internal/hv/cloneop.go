@@ -8,6 +8,7 @@ import (
 	"nephele/internal/evtchn"
 	"nephele/internal/fault"
 	"nephele/internal/mem"
+	"nephele/internal/obs"
 	"nephele/internal/vclock"
 )
 
@@ -77,42 +78,68 @@ func (h *Hypervisor) SetCloningEnabled(on bool) {
 
 // CloneRequest is one parent's CLONEOP in a multi-parent scheduling round.
 // Caller is the domain invoking the hypercall (the parent itself, or Dom0
-// on its behalf); Target is the parent to clone N times. Meter carries the
-// request's virtual time; a nil Meter gets a throwaway one.
+// on its behalf); Target is the parent to clone N times. Ctx carries the
+// request's meter, active span and fault scope; a context without a meter
+// falls back to the legacy Meter field, and a request with neither gets a
+// throwaway meter.
 type CloneRequest struct {
 	Caller   DomID
 	Target   DomID
 	N        int
 	CopyRing bool
-	Meter    *vclock.Meter
+	Ctx      obs.OpCtx
+	// Meter is the legacy way to attach the request's virtual time,
+	// honored only when Ctx has no meter; new code sets Ctx.
+	Meter *vclock.Meter
 }
 
-// CloneBatchResult is the per-request outcome of a scheduling round, field
-// for field what CloneOpClone returns for that request alone.
-type CloneBatchResult struct {
+// ctx resolves the request's effective context: Ctx, backfilled with the
+// legacy Meter field, backfilled with a throwaway meter.
+func (r CloneRequest) ctx() obs.OpCtx {
+	c := r.Ctx
+	if c.Meter() == nil {
+		c = c.WithMeter(r.Meter)
+	}
+	return c.EnsureMeter(nil)
+}
+
+// CloneResult is the outcome of one clone request — the same shape for the
+// single-request Clone and each entry of a CloneOpCloneBatch round.
+type CloneResult struct {
 	Children []DomID
 	Stats    *CloneOpStats
 	Done     <-chan struct{}
 	Err      error
 }
 
-// CloneOpClone is the clone subcommand of the CLONEOP hypercall: it runs
-// the first stage of cloning for the calling domain (or, when invoked from
-// Dom0, for an explicitly named domain — e.g. for VM fuzzing), creating n
-// children whose IDs are returned, mirroring the array the real hypercall
-// fills in. The parent is paused until xencloned completes the second
-// stage for every child; the returned channel is closed once all
-// completions arrived and the parent has been resumed, so callers can
+// CloneBatchResult is the former name of CloneResult, kept as an alias so
+// batch-path callers migrate incrementally.
+type CloneBatchResult = CloneResult
+
+// Clone is the clone subcommand of the CLONEOP hypercall: it runs the
+// first stage of cloning for the calling domain (or, when invoked from
+// Dom0, for an explicitly named domain — e.g. for VM fuzzing), creating
+// req.N children whose IDs are returned, mirroring the array the real
+// hypercall fills in. The parent is paused until xencloned completes the
+// second stage for every child; the result's Done channel is closed once
+// all completions arrived and the parent has been resumed, so callers can
 // block on it for fork()-like synchronous semantics.
 //
-// copyRing selects the I/O-ring clone policy for the address-space pages
-// tagged KindIORing (network rings are copied; the console ring page is a
-// distinct kind and always fresh).
+// req.CopyRing selects the I/O-ring clone policy for the address-space
+// pages tagged KindIORing (network rings are copied; the console ring page
+// is a distinct kind and always fresh).
 //
 // It is a scheduling round of one: see CloneOpCloneBatch for the
 // admission/build/merge structure and the determinism argument.
+func (h *Hypervisor) Clone(req CloneRequest) CloneResult {
+	return h.CloneOpCloneBatch([]CloneRequest{req})[0]
+}
+
+// CloneOpClone is the legacy positional form of Clone, kept so existing
+// callers and tests migrate incrementally; new code builds a CloneRequest
+// with an obs.OpCtx and reads the CloneResult.
 func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bool, meter *vclock.Meter) ([]DomID, *CloneOpStats, <-chan struct{}, error) {
-	r := h.CloneOpCloneBatch([]CloneRequest{{Caller: caller, Target: target, N: n, CopyRing: copyRing, Meter: meter}})[0]
+	r := h.Clone(CloneRequest{Caller: caller, Target: target, N: n, CopyRing: copyRing, Meter: meter})
 	return r.Children, r.Stats, r.Done, r.Err
 }
 
@@ -136,7 +163,7 @@ func (h *Hypervisor) CloneOpClone(caller DomID, target DomID, n int, copyRing bo
 // virtual-time output of any single request is byte-identical to running
 // it alone (the golden-series figures are insensitive to batching), while
 // the wall-clock cost of the round is one pool-wide fan-out.
-func (h *Hypervisor) CloneOpCloneBatch(reqs []CloneRequest) []CloneBatchResult {
+func (h *Hypervisor) CloneOpCloneBatch(reqs []CloneRequest) []CloneResult {
 	adms := make([]cloneAdmission, len(reqs))
 	jobs := 0
 	for i := range reqs {
@@ -162,9 +189,13 @@ func (h *Hypervisor) CloneOpCloneBatch(reqs []CloneRequest) []CloneBatchResult {
 		}
 	}
 	buildOne := func(j job) {
-		cm := vclock.NewMeter(j.a.meter.Costs())
-		child, st, err := h.cloneOne(j.a.parent, j.a.ids[j.i], j.a.req.CopyRing, cm)
-		j.a.results[j.i] = cloneResult{child: child, st: st, meter: cm, err: err}
+		// Each child builds against a private meter and, when tracing, a
+		// private sub-trace; both merge in child order during the finish
+		// phase, so neither virtual time nor span order depends on build
+		// scheduling.
+		cctx, sub := j.a.ctx.Detach()
+		child, st, err := h.cloneOne(j.a.parent, j.a.ids[j.i], j.a.req.CopyRing, cctx)
+		j.a.results[j.i] = cloneResult{child: child, st: st, meter: cctx.Meter(), sub: sub, err: err}
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(list) {
@@ -193,19 +224,20 @@ func (h *Hypervisor) CloneOpCloneBatch(reqs []CloneRequest) []CloneBatchResult {
 		wg.Wait()
 	}
 
-	out := make([]CloneBatchResult, len(reqs))
+	out := make([]CloneResult, len(reqs))
 	for i := range adms {
 		out[i] = h.finishClone(&adms[i])
 	}
 	return out
 }
 
-// cloneResult is one child's build outcome, carrying its private meter
-// until the in-order merge.
+// cloneResult is one child's build outcome, carrying its private meter and
+// sub-trace until the in-order merge.
 type cloneResult struct {
 	child *Domain
 	st    *CloneOpStats
 	meter *vclock.Meter
+	sub   *obs.Trace
 	err   error
 }
 
@@ -213,6 +245,8 @@ type cloneResult struct {
 // scheduling round.
 type cloneAdmission struct {
 	req     CloneRequest
+	ctx     obs.OpCtx // resolved context; its span is the request's root span
+	span    obs.Span  // the open clone-request span (zero when untraced)
 	meter   *vclock.Meter
 	parent  *Domain
 	start   vclock.Duration
@@ -228,10 +262,12 @@ type cloneAdmission struct {
 // fault gate, in exactly the order the sequential CloneOpClone performed
 // them.
 func (h *Hypervisor) admitClone(a *cloneAdmission) {
-	meter := a.req.Meter
-	if meter == nil {
-		meter = vclock.NewMeter(nil)
-	}
+	ctx := a.req.ctx()
+	// The request's root span opens before any charge so every phase nests
+	// under it; span bookkeeping itself charges nothing, keeping the golden
+	// virtual-time series identical with tracing on or off.
+	a.ctx, a.span = ctx.StartSpan("clone-request")
+	meter := a.ctx.Meter()
 	a.meter = meter
 	meter.Charge(meter.Costs().Hypercall, 1)
 
@@ -285,10 +321,12 @@ func (h *Hypervisor) admitClone(a *cloneAdmission) {
 
 	// Fault-injection gate, consulted in child order before any parallel
 	// work so per-point hit counts fire against the same child index as
-	// the sequential loop.
+	// the sequential loop. An OpCtx fault scope overrides the component
+	// registry for this request only.
+	faults := a.ctx.Faults(h.Faults())
 	a.attempt = n
 	for i := 0; i < n; i++ {
-		if err := h.Faults().Check(fault.PointHVCloneOne); err != nil {
+		if err := faults.Check(fault.PointHVCloneOne); err != nil {
 			a.attempt, a.gateErr = i, err
 			break
 		}
@@ -301,11 +339,14 @@ func (h *Hypervisor) admitClone(a *cloneAdmission) {
 // ordering. The first failure wins (like the sequential loop stopping
 // there); speculative successes past it are torn down with no virtual-time
 // charge, since a sequential run would never have built them.
-func (h *Hypervisor) finishClone(a *cloneAdmission) CloneBatchResult {
+func (h *Hypervisor) finishClone(a *cloneAdmission) CloneResult {
 	if a.err != nil {
-		return CloneBatchResult{Err: a.err}
+		a.span.End()
+		h.met.cloneFailures.Inc()
+		return CloneResult{Err: a.err}
 	}
 	meter, parent, n := a.meter, a.parent, a.req.N
+	trace := a.ctx.Trace()
 	stats := &CloneOpStats{}
 	children := make([]DomID, 0, n)
 	var waits []chan struct{}
@@ -319,7 +360,13 @@ func (h *Hypervisor) finishClone(a *cloneAdmission) CloneBatchResult {
 			}
 			continue
 		}
+		// Merge the child's private meter and sub-trace at the same offset:
+		// the spans land exactly where the sequential loop would have put
+		// them on the virtual timeline. Speculative successes past the first
+		// failure merge neither (a sequential run never built them).
+		offset := meter.Elapsed()
 		meter.Add(r.meter.Elapsed())
+		trace.Absorb(r.sub, a.ctx.SpanID(), offset)
 		if r.err != nil {
 			retErr = r.err
 			usedIDs = i + 1
@@ -334,13 +381,17 @@ func (h *Hypervisor) finishClone(a *cloneAdmission) CloneBatchResult {
 		stats.Memory.PTEntries += r.st.Memory.PTEntries
 		stats.Memory.P2MEntries += r.st.Memory.P2MEntries
 		stats.Memory.MetaFrames += r.st.Memory.MetaFrames
+		stats.Memory.Extents += r.st.Memory.Extents
 		stats.Events.Cloned += r.st.Events.Cloned
 		stats.Events.IDCBound += r.st.Events.IDCBound
 		stats.Grants += r.st.Grants
 		stats.VCPUs += r.st.VCPUs
+		h.met.extents.Observe(int64(r.st.Memory.Extents))
 
 		// Queue the notification for xencloned and raise VIRQ_CLONED.
-		wait, err := h.pushNotification(parent, r.child, meter)
+		nctx, nspan := a.ctx.StartSpan("notify-push")
+		wait, err := h.pushNotification(nctx, parent, r.child)
+		nspan.End()
 		if err != nil {
 			// The child was fully created but can never complete:
 			// tear it down and refund the unused budget.
@@ -371,10 +422,16 @@ func (h *Hypervisor) finishClone(a *cloneAdmission) CloneBatchResult {
 		parent.clone.made -= n - len(children)
 		parent.mu.Unlock()
 		parent.unpause()
-		return CloneBatchResult{Children: children, Stats: stats, Err: retErr}
+		a.span.End()
+		h.met.cloneFailures.Inc()
+		return CloneResult{Children: children, Stats: stats, Err: retErr}
 	}
 	stats.FirstStage = meter.Lap(a.start)
 	h.Events.RaiseVIRQ(evtchn.VIRQCloned, meter)
+	// The request span covers the first stage only; the parent-paused wait
+	// for the second stage is the platform layer's span.
+	a.span.End()
+	h.met.recordClone(stats, len(children))
 
 	done := make(chan struct{})
 	go func() {
@@ -384,7 +441,7 @@ func (h *Hypervisor) finishClone(a *cloneAdmission) CloneBatchResult {
 		parent.unpause()
 		close(done)
 	}()
-	return CloneBatchResult{Children: children, Stats: stats, Done: done}
+	return CloneResult{Children: children, Stats: stats, Done: done}
 }
 
 // cloneOne performs the hypervisor first stage for a single child with a
@@ -392,7 +449,10 @@ func (h *Hypervisor) finishClone(a *cloneAdmission) CloneBatchResult {
 // unwound: every allocated frame is returned, so a clone that dies of
 // memory pressure leaves the parent exactly as it was. The caller owns the
 // clone budget, the fault-injection gate and the parent.children link.
-func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, meter *vclock.Meter) (child *Domain, st *CloneOpStats, err error) {
+func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, ctx obs.OpCtx) (child *Domain, st *CloneOpStats, err error) {
+	meter := ctx.Meter()
+	ctx, cspan := ctx.StartSpan("clone-child")
+	defer cspan.End()
 	defer func() {
 		if err == nil {
 			return
@@ -420,6 +480,7 @@ func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, meter *vc
 
 	st = &CloneOpStats{}
 
+	_, vspan := ctx.StartSpan("vcpu-copy")
 	parent.mu.Lock()
 	child = newDomain(id, len(parent.vcpus))
 	// vCPU state: affinity and user registers are replicated; RAX
@@ -444,10 +505,13 @@ func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, meter *vc
 		meter.Charge(meter.Costs().DomainCreate, 1)
 		meter.Charge(meter.Costs().VCPUClone, st.VCPUs)
 	}
+	vspan.End()
 
 	// Memory: COW-share regular pages, duplicate/rewrite private ones,
 	// rebuild page table and p2m (§5.2).
-	cspace, mst, err := pspace.Clone(id, copyRing, meter)
+	sctx, sspan := ctx.StartSpan("space-clone")
+	cspace, mst, err := pspace.CloneOp(sctx, id, copyRing)
+	sspan.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -473,13 +537,17 @@ func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, meter *vc
 	// Event channels and grant table.
 	h.Events.AddDomain(id, nil)
 	h.Grants.AddDomain(id)
+	_, espan := ctx.StartSpan("event-channels")
 	est, err := h.Events.CloneDomain(parent.ID, id, meter)
+	espan.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	st.Events = est
+	_, gspan := ctx.StartSpan("grant-table")
 	xlate := func(m mem.MFN) mem.MFN { return m } // shared frames keep their MFN
 	gst, err := h.Grants.CloneDomain(parent.ID, id, xlate, meter)
+	gspan.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -489,8 +557,9 @@ func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, meter *vc
 
 // pushNotification appends a clone notification, returning the channel the
 // first stage waits on. A full ring back-pressures cloning by failing.
-func (h *Hypervisor) pushNotification(parent, child *Domain, meter *vclock.Meter) (chan struct{}, error) {
-	if err := h.Faults().Check(fault.PointHVNotifyPush); err != nil {
+func (h *Hypervisor) pushNotification(ctx obs.OpCtx, parent, child *Domain) (chan struct{}, error) {
+	meter := ctx.Meter()
+	if err := ctx.Faults(h.Faults()).Check(fault.PointHVNotifyPush); err != nil {
 		return nil, err
 	}
 	parentSI, _ := parent.Space().MFNOf(parent.StartInfoPFN)
@@ -528,13 +597,23 @@ func (h *Hypervisor) PendingNotifications() int {
 	return h.notify.len()
 }
 
-// CloneOpCompletion is the clone_completion subcommand: xencloned reports
+// CloneOpCompletion is the legacy positional form of CloneCompletion, kept
+// so existing callers and tests migrate incrementally.
+func (h *Hypervisor) CloneOpCompletion(child DomID, resumeChild bool, meter *vclock.Meter) error {
+	return h.CloneCompletion(obs.Ctx(meter), child, resumeChild)
+}
+
+// CloneCompletion is the clone_completion subcommand: xencloned reports
 // that all userspace operations for child are done (§5.1). Completion
 // events arrive asynchronously and out of order across guests.
-func (h *Hypervisor) CloneOpCompletion(child DomID, resumeChild bool, meter *vclock.Meter) error {
+func (h *Hypervisor) CloneCompletion(ctx obs.OpCtx, child DomID, resumeChild bool) error {
+	meter := ctx.Meter()
+	_, span := ctx.StartSpan("clone-completion")
+	defer span.End()
 	if meter != nil {
 		meter.Charge(meter.Costs().Hypercall, 1)
 	}
+	h.met.completions.Inc()
 	h.mu.Lock()
 	wait := h.completionWaits[child]
 	delete(h.completionWaits, child)
@@ -554,17 +633,27 @@ func (h *Hypervisor) CloneOpCompletion(child DomID, resumeChild bool, meter *vcl
 	return nil
 }
 
-// CloneOpAbort is the clone_abort subcommand: xencloned reports that the
+// CloneOpAbort is the legacy positional form of CloneAbort, kept so
+// existing callers and tests migrate incrementally.
+func (h *Hypervisor) CloneOpAbort(child DomID, meter *vclock.Meter) error {
+	return h.CloneAbort(obs.Ctx(meter), child)
+}
+
+// CloneAbort is the clone_abort subcommand: xencloned reports that the
 // second stage for child failed irrecoverably. The hypervisor destroys the
 // half-clone (releasing its COW references, overhead frames, event
 // channels and grant entries), unlinks it from the family tree, refunds
 // the parent's clone budget, records the child as aborted and closes the
 // parent's completion wait so the parent resumes instead of deadlocking on
 // a child that will never complete.
-func (h *Hypervisor) CloneOpAbort(child DomID, meter *vclock.Meter) error {
+func (h *Hypervisor) CloneAbort(ctx obs.OpCtx, child DomID) error {
+	meter := ctx.Meter()
+	_, span := ctx.StartSpan("clone-abort")
+	defer span.End()
 	if meter != nil {
 		meter.Charge(meter.Costs().Hypercall, 1)
 	}
+	h.met.aborts.Inc()
 	h.mu.Lock()
 	wait := h.completionWaits[child]
 	delete(h.completionWaits, child)
@@ -609,11 +698,20 @@ func (h *Hypervisor) CloneOutcome(child DomID) (CloneOutcome, bool) {
 	return o, ok
 }
 
-// CloneOpCOW is the clone_cow subcommand added for KFX fuzzing (§7.2): it
+// CloneOpCOW is the legacy positional form of CloneCOW, kept so existing
+// callers and tests migrate incrementally.
+func (h *Hypervisor) CloneOpCOW(id DomID, pfns []mem.PFN, meter *vclock.Meter) error {
+	return h.CloneCOW(obs.Ctx(meter), id, pfns)
+}
+
+// CloneCOW is the clone_cow subcommand added for KFX fuzzing (§7.2): it
 // triggers COW explicitly for the given guest pages so breakpoints can be
 // inserted in the clone's code regions without touching the family-shared
 // frames.
-func (h *Hypervisor) CloneOpCOW(id DomID, pfns []mem.PFN, meter *vclock.Meter) error {
+func (h *Hypervisor) CloneCOW(ctx obs.OpCtx, id DomID, pfns []mem.PFN) error {
+	meter := ctx.Meter()
+	_, span := ctx.StartSpan("clone-cow")
+	defer span.End()
 	if meter != nil {
 		meter.Charge(meter.Costs().Hypercall, 1)
 	}
@@ -625,17 +723,27 @@ func (h *Hypervisor) CloneOpCOW(id DomID, pfns []mem.PFN, meter *vclock.Meter) e
 		if err := d.Space().TouchCOW(pfn, meter); err != nil {
 			return err
 		}
+		h.met.cowPages.Inc()
 	}
 	return nil
 }
 
-// CloneOpReset is the clone_reset subcommand (§7.2): it restores the
-// clone's dirtied pages to the family-shared state so a fuzzing iteration
-// starts from the parent's memory image. Pages that were COW-broken are
-// re-shared with the parent's current frames. It returns the number of
-// pages restored (the paper reports ~3 dirty pages per iteration for
-// Unikraft vs ~8 for a Linux guest).
+// CloneOpReset is the legacy positional form of CloneReset, kept so
+// existing callers and tests migrate incrementally.
 func (h *Hypervisor) CloneOpReset(child DomID, meter *vclock.Meter) (int, error) {
+	return h.CloneReset(obs.Ctx(meter), child)
+}
+
+// CloneReset is the clone_reset subcommand (§7.2): it restores the clone's
+// dirtied pages to the family-shared state so a fuzzing iteration starts
+// from the parent's memory image. Pages that were COW-broken are re-shared
+// with the parent's current frames. It returns the number of pages restored
+// (the paper reports ~3 dirty pages per iteration for Unikraft vs ~8 for a
+// Linux guest).
+func (h *Hypervisor) CloneReset(ctx obs.OpCtx, child DomID) (int, error) {
+	meter := ctx.Meter()
+	_, span := ctx.StartSpan("clone-reset")
+	defer span.End()
 	if meter != nil {
 		meter.Charge(meter.Costs().Hypercall, 1)
 	}
@@ -651,7 +759,10 @@ func (h *Hypervisor) CloneOpReset(child DomID, meter *vclock.Meter) (int, error)
 	if err != nil {
 		return 0, err
 	}
-	return resetSpace(d.Space(), p.Space(), h.Memory, meter)
+	restored, err := resetSpace(d.Space(), p.Space(), h.Memory, meter)
+	h.met.resetCalls.Inc()
+	h.met.resetPages.Add(int64(restored))
+	return restored, err
 }
 
 // resetSpace re-points every privately-dirtied regular page of child back

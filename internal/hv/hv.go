@@ -9,6 +9,7 @@ import (
 	"nephele/internal/fault"
 	"nephele/internal/gnttab"
 	"nephele/internal/mem"
+	"nephele/internal/obs"
 	"nephele/internal/vclock"
 )
 
@@ -57,8 +58,13 @@ type Hypervisor struct {
 
 	cloningEnabled bool
 
+	// met caches the metric instruments fed by the clone pipeline; the
+	// registry behind it is shared platform-wide via Metrics().
+	met *hvMetrics
+
 	// faults is the optional fault-injection registry threaded through
-	// the first-stage clone path; nil never fires.
+	// the first-stage clone path; nil never fires. An OpCtx fault scope
+	// overrides it per operation.
 	faults *fault.Registry
 
 	// Clone notifications: a bounded indexed ring plus the VIRQ that
@@ -89,6 +95,7 @@ func New(cfg Config) *Hypervisor {
 		Events:          evtchn.New(cfg.MaxEventPorts),
 		Grants:          gnttab.New(cfg.GrantEntries),
 		domains:         make(map[DomID]*Domain),
+		met:             newHVMetrics(),
 		nextDom:         1,
 		overhead:        make(map[DomID][]mem.MFN),
 		notify:          newNotifyRing(cfg.NotifyRingSlots),
@@ -166,11 +173,21 @@ func (h *Hypervisor) SetEventHandler(id DomID, handler evtchn.Handler) error {
 	return nil
 }
 
-// CreateDomain allocates a fresh DomU with the given number of guest pages
+// CreateDomain is the legacy meter-threading form of DomainCreate, kept so
+// existing callers and tests migrate incrementally; new code builds an
+// obs.OpCtx instead.
+func (h *Hypervisor) CreateDomain(pages, vcpus int, meter *vclock.Meter) (*Domain, error) {
+	return h.DomainCreate(obs.Ctx(meter), pages, vcpus)
+}
+
+// DomainCreate allocates a fresh DomU with the given number of guest pages
 // and vCPUs: the hypervisor part of what the toolstack does on `xl create`.
 // The Xen-special pages (start_info, console ring, Xenstore ring) are
 // carved out of the guest's own memory, as on real Xen.
-func (h *Hypervisor) CreateDomain(pages, vcpus int, meter *vclock.Meter) (*Domain, error) {
+func (h *Hypervisor) DomainCreate(ctx obs.OpCtx, pages, vcpus int) (*Domain, error) {
+	meter := ctx.Meter()
+	_, span := ctx.StartSpan("domain-create")
+	defer span.End()
 	h.mu.Lock()
 	id := h.nextDom
 	h.nextDom++
@@ -219,8 +236,15 @@ func (h *Hypervisor) CreateDomain(pages, vcpus int, meter *vclock.Meter) (*Domai
 	return d, nil
 }
 
-// DestroyDomain tears a domain down and returns its memory.
+// DestroyDomain is the legacy meter-threading form of DomainDestroy, kept
+// so existing callers and tests migrate incrementally.
 func (h *Hypervisor) DestroyDomain(id DomID, meter *vclock.Meter) error {
+	return h.DomainDestroy(obs.Ctx(meter), id)
+}
+
+// DomainDestroy tears a domain down and returns its memory.
+func (h *Hypervisor) DomainDestroy(ctx obs.OpCtx, id DomID) error {
+	meter := ctx.Meter()
 	if id == mem.DomID0 {
 		return fmt.Errorf("hv: refusing to destroy Dom0")
 	}

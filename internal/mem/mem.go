@@ -12,6 +12,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nephele/internal/vclock"
 )
@@ -143,6 +144,10 @@ type Memory struct {
 	// concurrent writers — readers use plain equality) around every
 	// counter mutation; aggregate readers retry while it moves.
 	accSeq atomic.Uint64
+
+	// metrics is the opt-in hot-path instrumentation (SetMetrics); nil —
+	// the default — keeps lockMask and the COW fault path uninstrumented.
+	metrics atomic.Pointer[memMetrics]
 }
 
 // New creates a machine memory pool of totalBytes (rounded down to whole
@@ -345,6 +350,15 @@ func (m *Memory) maskOf(n int, mfnAt func(int) MFN) uint32 {
 //nephele:lockorder-helper — set bits are walked low to high, so
 // acquisition order is ascending by construction.
 func (m *Memory) lockMask(mask uint32) {
+	if mm := m.metrics.Load(); mm != nil {
+		start := time.Now() //nephele:nondeterministic-ok — lock-wait wall time is a diagnostic metric, never used for ordering
+		for w := mask; w != 0; w &= w - 1 {
+			m.shards[bits.TrailingZeros32(w)].mu.Lock()
+		}
+		mm.lockWaitNS.Add(int64(time.Since(start))) //nephele:nondeterministic-ok — lock-wait wall time is a diagnostic metric, never used for ordering
+		mm.lockAcquisitions.Add(int64(bits.OnesCount32(mask)))
+		return
+	}
 	for w := mask; w != 0; w &= w - 1 {
 		m.shards[bits.TrailingZeros32(w)].mu.Lock()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nephele/internal/obs"
 	"nephele/internal/vclock"
 )
 
@@ -299,6 +300,9 @@ func (s *Space) Write(pfn PFN, off int, buf []byte, meter *vclock.Meter) error {
 		p.cow = false
 		p.writable = true
 		s.faults++
+		if mm := s.mem.metrics.Load(); mm != nil {
+			mm.cowFaults.Inc()
+		}
 		s.markDirtyLocked(pfn)
 	} else if !p.writable {
 		s.mu.Unlock()
@@ -330,6 +334,9 @@ func (s *Space) TouchCOW(pfn PFN, meter *vclock.Meter) error {
 	p.cow = false
 	p.writable = true
 	s.faults++
+	if mm := s.mem.metrics.Load(); mm != nil {
+		mm.cowFaults.Inc()
+	}
 	s.markDirtyLocked(pfn)
 	return nil
 }
@@ -371,9 +378,16 @@ type CloneStats struct {
 	PTEntries     int // page-table mappings written for the child
 	P2MEntries    int // p2m entries rebuilt for the child
 	MetaFrames    int // page-table + p2m frames allocated for the child
+	Extents       int // same-state runs the clone walk batched over
 }
 
-// Clone produces a child address space for childDom following the paper's
+// Clone is the legacy meter-threading form of CloneOp, kept so existing
+// callers and tests migrate incrementally; new code builds an obs.OpCtx.
+func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Space, CloneStats, error) {
+	return s.CloneOp(obs.Ctx(meter), childDom, copyRing)
+}
+
+// CloneOp produces a child address space for childDom following the paper's
 // memory-cloning rules: regular writable pages are shared copy-on-write via
 // dom_cow; read-only pages are shared without write protection changes;
 // private pages (page tables, start_info, rings, p2m, ...) are duplicated
@@ -381,7 +395,8 @@ type CloneStats struct {
 // and p2m are rebuilt entry by entry. The parent's regular pages also
 // become COW in the parent. copyRing controls whether KindIORing contents
 // are copied (network devices) or left fresh (console).
-func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Space, CloneStats, error) {
+func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, CloneStats, error) {
+	meter := ctx.Meter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var st CloneStats
@@ -403,7 +418,10 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 	}
 	var fixups []fixup
 	done := 0 // entries below this index have taken their child references
+	var wspan, bspan obs.Span
 	fail := func(err error) (*Space, CloneStats, error) {
+		bspan.End()
+		wspan.End()
 		// Unwind the half-built child: shared extents are reconstructed
 		// from the parent's entries, private frames from the fixups.
 		// ReleaseN gives them the same dispatch child.release() would
@@ -429,6 +447,8 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 	// pages, not the total page count. The per-page dispatch inside the
 	// batched operations is identical to the sequential one, so virtual
 	// time and CloneStats are unchanged.
+	var wctx obs.OpCtx
+	wctx, wspan = ctx.StartSpan("extent-walk")
 	var run []MFN
 	for lo := 0; lo < len(s.ptes); {
 		p := &s.ptes[lo]
@@ -447,6 +467,13 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 		n := hi - lo
 		ext := s.ptes[lo:hi]
 
+		// One span per extent, named for the clone policy it went through:
+		// family sharing versus private duplication.
+		name := "private-copy"
+		if p.kind == KindIDC || p.kind == KindRegular {
+			name = "cow-share"
+		}
+		_, bspan = wctx.StartSpan(name)
 		switch p.kind {
 		case KindIDC:
 			// Genuinely shared, never COW: both sides keep writing
@@ -518,8 +545,11 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 			fixups = append(fixups, fixup{lo: lo, hi: hi, mfns: mfns})
 			st.PrivateCopies += n
 		}
+		bspan.End()
+		bspan = obs.Span{}
 		st.PTEntries += n
 		st.P2MEntries += n
+		st.Extents++
 		// Only regular writable pages are COW in the child; any other
 		// extent carrying a (stale) COW bit must not pass it on.
 		if p.cow && !(p.kind == KindRegular && p.writable) {
@@ -528,9 +558,12 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 		done = hi
 		lo = hi
 	}
+	wspan.End()
 
 	// Bulk-copy the parent's table (a recycled slice avoids both zeroing
 	// and garbage) and patch in the private mappings.
+	_, rspan := ctx.StartSpan("table-rebuild")
+	defer rspan.End()
 	child := &Space{
 		mem:    s.mem,
 		dom:    childDom,

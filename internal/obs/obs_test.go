@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"nephele/internal/fault"
+	"nephele/internal/vclock"
+)
+
+func TestDisabledSinkZeroAlloc(t *testing.T) {
+	meter := vclock.NewMeter(nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		ctx := Ctx(meter)
+		ctx, sp := ctx.StartSpan("phase")
+		_, sp2 := ctx.StartSpan("sub")
+		sp2.End()
+		sp.End()
+		(*Counter)(nil).Inc()
+		(*Histogram)(nil).Observe(7)
+		(*Registry)(nil).Counter("x").Add(3)
+		_ = ctx.Faults(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace()
+	m := vclock.NewMeter(nil)
+	ctx := Ctx(m).WithTrace(tr)
+
+	ctx, root := ctx.StartSpan("root")
+	m.Add(10 * time.Microsecond)
+	cctx, child := ctx.StartSpan("child")
+	m.Add(5 * time.Microsecond)
+	_, leaf := cctx.StartSpan("leaf")
+	leaf.End()
+	child.End()
+	m.Add(1 * time.Microsecond)
+	root.End()
+
+	recs := tr.Spans()
+	if len(recs) != 3 {
+		t.Fatalf("got %d spans, want 3", len(recs))
+	}
+	want := []struct {
+		name   string
+		parent int32
+		start  vclock.Duration
+		dur    vclock.Duration
+	}{
+		{"root", 0, 0, 16 * time.Microsecond},
+		{"child", 1, 10 * time.Microsecond, 5 * time.Microsecond},
+		{"leaf", 2, 15 * time.Microsecond, 0},
+	}
+	for i, w := range want {
+		r := recs[i]
+		if r.Name != w.name || r.Parent != w.parent || r.StartV != w.start || r.DurV() != w.dur {
+			t.Errorf("span %d = {%s parent=%d start=%v dur=%v}, want %+v", i, r.Name, r.Parent, r.StartV, r.DurV(), w)
+		}
+	}
+}
+
+func TestAbsorbRenumbersAndShifts(t *testing.T) {
+	tr := NewTrace()
+	m := vclock.NewMeter(nil)
+	ctx := Ctx(m).WithTrace(tr)
+	ctx, root := ctx.StartSpan("request")
+
+	// Two detached children built on private meters, merged in order with
+	// the meter-merge offsets.
+	subs := make([]*Trace, 2)
+	meters := make([]*vclock.Meter, 2)
+	for i := range subs {
+		cctx, sub := ctx.Detach()
+		cctx, sp := cctx.StartSpan("build")
+		cctx.Meter().Add(7 * time.Microsecond)
+		_, inner := cctx.StartSpan("inner")
+		inner.End()
+		sp.End()
+		subs[i], meters[i] = sub, cctx.Meter()
+	}
+	for i := range subs {
+		offset := m.Elapsed()
+		m.Add(meters[i].Elapsed())
+		tr.Absorb(subs[i], ctx.SpanID(), offset)
+	}
+	root.End()
+
+	recs := tr.Spans()
+	if len(recs) != 5 {
+		t.Fatalf("got %d spans, want 5", len(recs))
+	}
+	// request, build#0, inner#0, build#1, inner#1
+	if recs[1].Parent != recs[0].ID || recs[3].Parent != recs[0].ID {
+		t.Errorf("absorbed top-level spans not re-parented: %+v", recs)
+	}
+	if recs[2].Parent != recs[1].ID || recs[4].Parent != recs[3].ID {
+		t.Errorf("absorbed nested spans lost their local parent: %+v", recs)
+	}
+	if recs[1].StartV != 0 || recs[3].StartV != 7*time.Microsecond {
+		t.Errorf("absorb offsets wrong: build starts %v and %v, want 0 and 7µs", recs[1].StartV, recs[3].StartV)
+	}
+	for i, r := range recs {
+		if r.ID != int32(i+1) {
+			t.Errorf("span %d has ID %d, want %d", i, r.ID, i+1)
+		}
+	}
+}
+
+func TestRenderAndChrome(t *testing.T) {
+	tr := NewTrace()
+	m := vclock.NewMeter(nil)
+	ctx := Ctx(m).WithTrace(tr)
+	ctx, root := ctx.StartSpan("op")
+	m.Add(3 * time.Microsecond)
+	_, sp := ctx.StartSpan("phase")
+	m.Add(2 * time.Microsecond)
+	sp.End()
+	root.End()
+
+	rendered := tr.Render()
+	wantLines := []string{"op ", "..phase "}
+	for _, w := range wantLines {
+		if !strings.Contains(rendered, w) {
+			t.Errorf("Render missing %q:\n%s", w, rendered)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int32   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(decoded.TraceEvents))
+	}
+	if decoded.TraceEvents[0].Ph != "X" || decoded.TraceEvents[1].Tid != decoded.TraceEvents[0].Tid {
+		t.Errorf("events malformed: %+v", decoded.TraceEvents)
+	}
+	if decoded.TraceEvents[1].Ts != 3 || decoded.TraceEvents[1].Dur != 2 {
+		t.Errorf("phase event ts/dur = %v/%v, want 3/2 µs", decoded.TraceEvents[1].Ts, decoded.TraceEvents[1].Dur)
+	}
+
+	if sum := tr.Summary(); !strings.Contains(sum, "phase") || !strings.Contains(sum, "op") {
+		t.Errorf("Summary missing span names:\n%s", sum)
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Inc()
+	r.Gauge("depth").Set(5)
+	r.Histogram("lat.us").Observe(100)
+	r.Histogram("lat.us").Observe(300)
+
+	j1, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(r)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("snapshot JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+	s := r.Snapshot()
+	if s.Counters["a.count"] != 1 || s.Counters["b.count"] != 2 || s.Gauges["depth"] != 5 {
+		t.Errorf("snapshot values wrong: %+v", s)
+	}
+	h := s.Histograms["lat.us"]
+	if h.Count != 2 || h.Sum != 400 || h.Mean != 200 {
+		t.Errorf("histogram snapshot wrong: %+v", h)
+	}
+	if got := r.Var()().(Snapshot); got.Counters["a.count"] != 1 {
+		t.Errorf("Var() snapshot wrong: %+v", got)
+	}
+	if sum := r.Summary(); !strings.Contains(sum, "a.count") || !strings.Contains(sum, "lat.us") {
+		t.Errorf("Summary missing instruments:\n%s", sum)
+	}
+}
+
+func TestFaultScopeOverridesFallback(t *testing.T) {
+	comp := fault.NewRegistry()
+	scope := fault.NewRegistry()
+	ctx := Ctx(nil)
+	if got := ctx.Faults(comp); got != comp {
+		t.Errorf("no scope: got %p, want component registry %p", got, comp)
+	}
+	ctx = ctx.WithFaults(scope)
+	if got := ctx.Faults(comp); got != scope {
+		t.Errorf("scope set: got %p, want scope %p", got, scope)
+	}
+}
+
+func TestEnsureMeterAndDetach(t *testing.T) {
+	ctx := Ctx(nil).EnsureMeter(nil)
+	if ctx.Meter() == nil {
+		t.Fatal("EnsureMeter left a nil meter")
+	}
+	costs := ctx.Meter().Costs()
+	d, sub := ctx.Detach()
+	if sub != nil {
+		t.Errorf("Detach of an untraced ctx returned a sub-trace")
+	}
+	if d.Meter() == ctx.Meter() || d.Meter().Costs() != costs {
+		t.Errorf("Detach meter not fresh or wrong cost table")
+	}
+	ctx = ctx.WithTrace(NewTrace())
+	if _, sub := ctx.Detach(); sub == nil {
+		t.Errorf("Detach of a traced ctx returned no sub-trace")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"nephele/internal/fault"
 	"nephele/internal/hv"
 	"nephele/internal/netsim"
+	"nephele/internal/obs"
 	"nephele/internal/vclock"
 	"nephele/internal/xenstore"
 )
@@ -249,7 +250,7 @@ func (x *XL) Create(cfg DomainConfig, meter *vclock.Meter) (*Record, error) {
 	}
 	x.mu.Unlock()
 
-	dom, err := x.HV.CreateDomain(cfg.Pages(), max1(cfg.VCPUs), meter)
+	dom, err := x.HV.DomainCreate(obs.Ctx(meter), cfg.Pages(), max1(cfg.VCPUs))
 	if err != nil {
 		return nil, err
 	}
@@ -259,11 +260,11 @@ func (x *XL) Create(cfg DomainConfig, meter *vclock.Meter) (*Record, error) {
 		}
 	}
 	if err := x.introduce(dom.ID, cfg.Name, meter); err != nil {
-		x.HV.DestroyDomain(dom.ID, nil)
+		x.HV.DomainDestroy(obs.OpCtx{}, dom.ID)
 		return nil, err
 	}
 	if err := x.createDevices(dom.ID, cfg, meter); err != nil {
-		x.HV.DestroyDomain(dom.ID, nil)
+		x.HV.DomainDestroy(obs.OpCtx{}, dom.ID)
 		return nil, err
 	}
 
@@ -377,7 +378,7 @@ func (x *XL) Destroy(id hv.DomID, meter *vclock.Meter) error {
 		x.Backends.Vbd.Remove(domid, i)
 	}
 	x.Store.Remove(fmt.Sprintf("/local/domain/%d", id), meter)
-	return x.HV.DestroyDomain(id, meter)
+	return x.HV.DomainDestroy(obs.Ctx(meter), id)
 }
 
 // AdoptClone registers a clone created by xencloned in the toolstack
