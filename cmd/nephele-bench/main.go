@@ -4,6 +4,7 @@
 // Usage:
 //
 //	nephele-bench -fig 4           # one figure at paper scale
+//	nephele-bench -fig lazy        # eager vs lazy CLONEOP latency
 //	nephele-bench -fig all -quick  # every figure at reduced scale
 //	nephele-bench -fig 6 -cpuprofile cpu.prof -memprofile mem.prof
 //	nephele-bench -fig 4 -trace out.json  # Chrome-trace of the clone spans
@@ -34,12 +35,12 @@ import (
 var traceSink *obs.Trace
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11, 'mp' (multi-parent throughput) or 'all'")
+	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11, 'mp' (multi-parent throughput), 'lazy' (lazy-clone latency) or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write one CSV per series into this directory (for plotting)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the last figure) to this file")
-	traceFile := flag.String("trace", "", "record clone-pipeline spans (fig 4) and write Chrome-trace JSON to this file")
+	traceFile := flag.String("trace", "", "record clone-pipeline spans (figs 4 and lazy) and write Chrome-trace JSON to this file")
 	flag.Parse()
 
 	if *traceFile != "" {
@@ -71,9 +72,10 @@ func main() {
 		"9":  runFig9,
 		"10": runFig10,
 		"11": runFig11,
-		"mp": runMultiParent,
+		"mp":   runMultiParent,
+		"lazy": runFigLazy,
 	}
-	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "mp"}
+	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "mp", "lazy"}
 
 	var selected []string
 	if *figFlag == "all" {
@@ -81,7 +83,7 @@ func main() {
 	} else if _, ok := runners[*figFlag]; ok {
 		selected = []string{*figFlag}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..11 or all)\n", *figFlag)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..11, mp, lazy or all)\n", *figFlag)
 		os.Exit(2)
 	}
 
@@ -217,6 +219,15 @@ func runMultiParent(quick bool) (*bench.Figure, error) {
 		cfg.Parents, cfg.Rounds = []int{1, 4}, 5
 	}
 	return bench.MultiParent(cfg)
+}
+
+func runFigLazy(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFigLazy()
+	if quick {
+		cfg.GuestMB, cfg.HotPercents = 16, []int{1, 10, 100}
+	}
+	cfg.Trace = traceSink
+	return bench.FigLazy(cfg)
 }
 
 func runFig7(quick bool) (*bench.Figure, error) {

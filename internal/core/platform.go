@@ -251,11 +251,25 @@ func (p *Platform) Clone(caller, target DomID, n int, meter *vclock.Meter) (*Clo
 // with parent-paused covering the daemon's work and the completion wait —
 // exactly the interval the parent is frozen waiting for its children.
 func (p *Platform) CloneOp(ctx obs.OpCtx, caller, target DomID, n int) (*CloneResult, error) {
+	return p.CloneOpMode(ctx, caller, target, n, mem.CloneEager)
+}
+
+// CloneLazy is the meter-threading convenience for a lazy clone: only the
+// hot extents (metadata frames, start info, shared rings) are stamped at
+// CLONEOP time and a background streamer populates the rest, demand faults
+// winning races with it. Call WaitStreamed to join a child's streamer and
+// fold its deferred virtual time back onto a meter.
+func (p *Platform) CloneLazy(caller, target DomID, n int, meter *vclock.Meter) (*CloneResult, error) {
+	return p.CloneOpMode(p.opCtx(meter), caller, target, n, mem.CloneLazy)
+}
+
+// CloneOpMode is CloneOp with an explicit population mode (eager or lazy).
+func (p *Platform) CloneOpMode(ctx obs.OpCtx, caller, target DomID, n int, mode mem.CloneMode) (*CloneResult, error) {
 	ctx = ctx.EnsureMeter(p.Costs)
 	meter := ctx.Meter()
 	ctx, span := ctx.StartSpan("clone-op")
 	start := meter.Elapsed()
-	r := p.HV.Clone(hv.CloneRequest{Caller: caller, Target: target, N: n, CopyRing: true, Ctx: ctx})
+	r := p.HV.Clone(hv.CloneRequest{Caller: caller, Target: target, N: n, CopyRing: true, Mode: mode, Ctx: ctx})
 	if r.Err != nil {
 		span.End()
 		return nil, r.Err
@@ -376,6 +390,13 @@ func (p *Platform) CloneManyOp(ctx obs.OpCtx, reqs []hv.CloneRequest) ([]*CloneR
 		out[i] = res
 	}
 	return out, errors.Join(errs...)
+}
+
+// WaitStreamed blocks until a lazily cloned child's background streamer
+// has materialized every deferred page, merging the streamer's virtual
+// time and spans onto ctx. Eager children return immediately.
+func (p *Platform) WaitStreamed(ctx obs.OpCtx, id DomID) error {
+	return p.HV.WaitStreamed(ctx.EnsureMeter(p.Costs), id)
 }
 
 // CloneTotal reports the recorded total clone latency for a child.

@@ -73,6 +73,19 @@ const (
 	PointDev9pfsClone = "device/9pfs/clone"
 	// PointDevVbdClone fires in the block backend's clone path.
 	PointDevVbdClone = "device/vbd/clone"
+
+	// Lazy clone (the background streamer and demand-fault paths; these
+	// fire after CLONEOP returns, so they are not pipeline points).
+
+	// PointMemStreamExtent fires before the streamer materializes a chunk
+	// of lazy entries.
+	PointMemStreamExtent = "mem/stream-extent"
+	// PointMemUnmappedFault fires when a demand access materializes a
+	// lazy entry.
+	PointMemUnmappedFault = "mem/unmapped-fault"
+	// PointMemLazyFinalize fires when the streamer observes the last lazy
+	// entry materialized and finalizes the child.
+	PointMemLazyFinalize = "mem/lazy-finalize"
 )
 
 // FirstStagePoints lists the fault points inside the CLONEOP hypercall:
@@ -99,6 +112,16 @@ func SecondStagePoints() []string {
 // PipelinePoints lists every fault point of the clone pipeline.
 func PipelinePoints() []string {
 	return append(FirstStagePoints(), SecondStagePoints()...)
+}
+
+// LazyPoints lists the fault points of lazy-clone materialization. They
+// fire after the CLONEOP hypercall has returned — in the background
+// streamer or a demand fault — so they are kept out of PipelinePoints: a
+// failure here leaves a live child with unstreamed pages, handled by
+// cancelling the stream and destroying the child rather than by the
+// pipeline's rollback protocol.
+func LazyPoints() []string {
+	return []string{PointMemStreamExtent, PointMemUnmappedFault, PointMemLazyFinalize}
 }
 
 // Error is the failure an armed fault point returns.

@@ -87,7 +87,11 @@ type CloneRequest struct {
 	Target   DomID
 	N        int
 	CopyRing bool
-	Ctx      obs.OpCtx
+	// Mode selects eager (the zero value) or lazy child population; lazy
+	// children stream their regular pages in the background after the
+	// first stage returns (see mem.CloneLazy and WaitStreamed).
+	Mode mem.CloneMode
+	Ctx  obs.OpCtx
 	// Meter is the legacy way to attach the request's virtual time,
 	// honored only when Ctx has no meter; new code sets Ctx.
 	Meter *vclock.Meter
@@ -194,7 +198,7 @@ func (h *Hypervisor) CloneOpCloneBatch(reqs []CloneRequest) []CloneResult {
 		// phase, so neither virtual time nor span order depends on build
 		// scheduling.
 		cctx, sub := j.a.ctx.Detach()
-		child, st, err := h.cloneOne(j.a.parent, j.a.ids[j.i], j.a.req.CopyRing, cctx)
+		child, st, err := h.cloneOne(j.a.parent, j.a.ids[j.i], j.a.req.CopyRing, j.a.req.Mode, cctx)
 		j.a.results[j.i] = cloneResult{child: child, st: st, meter: cctx.Meter(), sub: sub, err: err}
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -382,6 +386,7 @@ func (h *Hypervisor) finishClone(a *cloneAdmission) CloneResult {
 		stats.Memory.P2MEntries += r.st.Memory.P2MEntries
 		stats.Memory.MetaFrames += r.st.Memory.MetaFrames
 		stats.Memory.Extents += r.st.Memory.Extents
+		stats.Memory.Deferred += r.st.Memory.Deferred
 		stats.Events.Cloned += r.st.Events.Cloned
 		stats.Events.IDCBound += r.st.Events.IDCBound
 		stats.Grants += r.st.Grants
@@ -449,7 +454,7 @@ func (h *Hypervisor) finishClone(a *cloneAdmission) CloneResult {
 // unwound: every allocated frame is returned, so a clone that dies of
 // memory pressure leaves the parent exactly as it was. The caller owns the
 // clone budget, the fault-injection gate and the parent.children link.
-func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, ctx obs.OpCtx) (child *Domain, st *CloneOpStats, err error) {
+func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, mode mem.CloneMode, ctx obs.OpCtx) (child *Domain, st *CloneOpStats, err error) {
 	meter := ctx.Meter()
 	ctx, cspan := ctx.StartSpan("clone-child")
 	defer cspan.End()
@@ -508,9 +513,19 @@ func (h *Hypervisor) cloneOne(parent *Domain, id DomID, copyRing bool, ctx obs.O
 	vspan.End()
 
 	// Memory: COW-share regular pages, duplicate/rewrite private ones,
-	// rebuild page table and p2m (§5.2).
-	sctx, sspan := ctx.StartSpan("space-clone")
-	cspace, mst, err := pspace.CloneOp(sctx, id, copyRing)
+	// rebuild page table and p2m (§5.2). Lazy mode stamps only the hot
+	// extents now and leaves the rest to a background streamer; the
+	// streamer outlives this span, so it carries the fault registry
+	// explicitly (its context would otherwise lose the component scope).
+	spanName := "space-clone"
+	if mode == mem.CloneLazy {
+		spanName = "space-clone-lazy"
+	}
+	sctx, sspan := ctx.StartSpan(spanName)
+	if mode == mem.CloneLazy {
+		sctx = sctx.WithFaults(sctx.Faults(h.Faults()))
+	}
+	cspace, mst, err := pspace.CloneOpMode(sctx, id, copyRing, mode)
 	sspan.End()
 	if err != nil {
 		return nil, nil, err
@@ -728,6 +743,31 @@ func (h *Hypervisor) CloneCOW(ctx obs.OpCtx, id DomID, pfns []mem.PFN) error {
 	return nil
 }
 
+// WaitStreamed blocks until the background streamer of a lazily cloned
+// child has materialized every deferred page, then merges the streamer's
+// virtual time and sub-trace onto ctx with the Detach/Absorb pattern: the
+// streamer's spans land at the caller's current virtual offset, as if the
+// deferred work had run inline here. The merge happens at most once; a
+// second wait only re-reports the stream's terminal error. Eagerly cloned
+// domains (no streamer) return immediately with a nil error.
+func (h *Hypervisor) WaitStreamed(ctx obs.OpCtx, id DomID) error {
+	d, err := h.Domain(id)
+	if err != nil {
+		return err
+	}
+	sm, sub, werr := d.Space().WaitLazy()
+	if sm != nil {
+		if meter := ctx.Meter(); meter != nil {
+			offset := meter.Elapsed()
+			meter.Add(sm.Elapsed())
+			ctx.Trace().Absorb(sub, ctx.SpanID(), offset)
+		} else {
+			ctx.Trace().Absorb(sub, ctx.SpanID(), 0)
+		}
+	}
+	return werr
+}
+
 // CloneOpReset is the legacy positional form of CloneReset, kept so
 // existing callers and tests migrate incrementally.
 func (h *Hypervisor) CloneOpReset(child DomID, meter *vclock.Meter) (int, error) {
@@ -771,6 +811,15 @@ func (h *Hypervisor) CloneReset(ctx obs.OpCtx, child DomID) (int, error) {
 // proportional to dirtied pages, as on real Xen where the dirty log drives
 // the restore.
 func resetSpace(child, parent *mem.Space, machine *mem.Memory, meter *vclock.Meter) (int, error) {
+	// A lazily cloned child may still have its streamer installing pages:
+	// drain it first so the dirty walk and the re-sharing below run
+	// against a settled page table. The streamer's virtual time folds
+	// into the reset meter — the reset could not proceed before it.
+	if sm, _, err := child.WaitLazy(); err != nil {
+		return 0, err
+	} else if sm != nil && meter != nil {
+		meter.Add(sm.Elapsed())
+	}
 	restored := 0
 	reShared := false
 	var firstErr error

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"nephele/internal/obs"
+	"nephele/internal/vclock"
 )
 
 // BenchmarkSpaceClone measures the host-side cost of cloning an address
@@ -53,6 +56,55 @@ func BenchmarkSpaceClone(b *testing.B) {
 				}
 				b.StopTimer()
 				if err := child.Release(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkLazyClone measures the host-side cost of a lazy clone plus the
+// demand-faulting of a hot set, at 1%, 10% and 100% of a 64 MB guest's
+// pages. The hot-set reads race the background streamer exactly as a real
+// child would; the timed section ends when the hot set is materialized,
+// and the remaining stream drains untimed. Compare against
+// BenchmarkSpaceClone/first=64MB, which is the eager cost the 100% sweep
+// should approach.
+func BenchmarkLazyClone(b *testing.B) {
+	const mb = 64
+	pages := mb << 20 / PageSize
+	for _, hotPct := range []int{1, 10, 100} {
+		hot := pages * hotPct / 100
+		stride := pages / hot
+		b.Run(fmt.Sprintf("hot=%d", hotPct), func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]byte, 8)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := New(uint64(2*mb+64) << 20)
+				parent, err := NewSpace(m, 1, pages, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				child, _, err := parent.CloneOpMode(obs.Ctx(vclock.NewMeter(nil)), 2, false, CloneLazy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < hot; j++ {
+					if err := child.Read(PFN(j*stride), 0, buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if _, _, err := child.WaitLazy(); err != nil {
+					b.Fatal(err)
+				}
+				if err := child.Release(); err != nil {
+					b.Fatal(err)
+				}
+				if err := parent.Release(); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()

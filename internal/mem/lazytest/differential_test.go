@@ -1,0 +1,302 @@
+package lazytest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nephele/internal/fault"
+	"nephele/internal/mem"
+	"nephele/internal/obs"
+	"nephele/internal/vclock"
+)
+
+// runSeed runs one seed's differential check, shrinking the workload to a
+// minimal failing prefix on failure so the report pinpoints the scenario.
+func runSeed(t *testing.T, seed int64) {
+	t.Helper()
+	sc := NewScenario(seed)
+	err := sc.Run(len(sc.ops))
+	if err == nil {
+		return
+	}
+	n := sc.Shrink()
+	t.Fatalf("seed %d (pages=%d, ops=%d, second=%v): %v\n  minimal failing prefix: %d ops (%v)",
+		seed, sc.Pages, len(sc.ops), sc.SecondClone, err, n, sc.Run(n))
+}
+
+// TestLazyDifferential is the headline harness: many seeded randomized
+// layouts and workloads, each proving eager ≡ lazy end to end.
+func TestLazyDifferential(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 30
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestLazySeedMatrix replays an explicit seed list from the environment —
+// the CI matrix entry point, and the way a failing seed from any run is
+// pinned as a regression.
+func TestLazySeedMatrix(t *testing.T) {
+	env := os.Getenv("NEPHELE_LAZY_SEEDS")
+	if env == "" {
+		t.Skip("NEPHELE_LAZY_SEEDS not set")
+	}
+	for _, f := range strings.Split(env, ",") {
+		seed, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("bad seed %q: %v", f, err)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestLazyGoldenNoWorkload pins the strongest determinism claim: with no
+// workload at all there is no fault/streamer race, so the lazy clone's
+// virtual time plus the streamer's equals the eager clone's EXACTLY, seed
+// by seed — the golden-series equivalence of DESIGN.md §13.
+func TestLazyGoldenNoWorkload(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := NewScenario(seed)
+		eager, err := sc.build(mem.CloneEager)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lazy, err := sc.build(mem.CloneLazy)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sm, _, err := lazy.child.WaitLazy()
+		if err != nil {
+			t.Fatalf("seed %d: WaitLazy: %v", seed, err)
+		}
+		var streamV vclock.Duration
+		if sm != nil {
+			streamV = sm.Elapsed()
+		}
+		if eager.cloneM.Elapsed() != lazy.cloneM.Elapsed()+streamV {
+			t.Fatalf("seed %d: eager %d != lazy %d + stream %d",
+				seed, eager.cloneM.Elapsed(), lazy.cloneM.Elapsed(), streamV)
+		}
+		if lazy.cloneM.Elapsed() >= eager.cloneM.Elapsed() && lazy.st.Deferred > 0 {
+			t.Fatalf("seed %d: lazy CLONEOP (%d) not cheaper than eager (%d) with %d deferred",
+				seed, lazy.cloneM.Elapsed(), eager.cloneM.Elapsed(), lazy.st.Deferred)
+		}
+		total := sc.frames()
+		if err := lazy.release(total); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := eager.release(total); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestLazyGoldenSeriesPostStream asserts that once the stream completes a
+// no-demand-fault workload produces the IDENTICAL per-op virtual-time
+// series on both sides: materialization leaves no trace in later costs.
+func TestLazyGoldenSeriesPostStream(t *testing.T) {
+	sc := NewScenario(7)
+	eager, err := sc.build(mem.CloneEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := sc.build(mem.CloneLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lazy.child.WaitLazy(); err != nil {
+		t.Fatalf("WaitLazy: %v", err)
+	}
+	series := func(s *side) []vclock.Duration {
+		out := make([]vclock.Duration, 0, sc.Pages)
+		for pfn := 0; pfn < sc.Pages; pfn++ {
+			m := vclock.NewMeter(nil)
+			if err := s.child.TouchCOW(mem.PFN(pfn), m); err != nil {
+				t.Fatalf("%v touch pfn %d: %v", s.mode, pfn, err)
+			}
+			out = append(out, m.Elapsed())
+		}
+		return out
+	}
+	es, ls := series(eager), series(lazy)
+	for i := range es {
+		if es[i] != ls[i] {
+			t.Fatalf("series diverges at pfn %d: eager %d, lazy %d", i, es[i], ls[i])
+		}
+	}
+}
+
+// TestLazyLostExtentFails documents the lost-extent bug class: a streamer
+// that dies mid-walk (injected here) must surface through WaitLazy, leave
+// Remaining non-zero, and block further cloning of the child with
+// ErrStreamPending — the failure the differential harness would report as
+// a snapshot hole.
+func TestLazyLostExtentFails(t *testing.T) {
+	sc := NewScenario(3)
+	reg := fault.NewRegistry()
+	reg.Inject(fault.PointMemStreamExtent, fault.FailOnce(), fault.Fatal)
+
+	s := &side{
+		mode:   mem.CloneLazy,
+		m:      mem.New(uint64(sc.frames()) * mem.PageSize),
+		buildM: vclock.NewMeter(nil),
+		cloneM: vclock.NewMeter(nil),
+	}
+	var err error
+	s.parent, err = mem.NewSpace(s.m, parentDom, sc.Pages, s.buildM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.Ctx(s.cloneM).WithFaults(reg)
+	s.child, s.st, err = s.parent.CloneOpMode(ctx, childDom, true, mem.CloneLazy)
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	if s.st.Deferred == 0 {
+		t.Fatal("nothing deferred")
+	}
+	_, _, werr := s.child.WaitLazy()
+	if !fault.IsFault(werr) {
+		t.Fatalf("WaitLazy = %v, want injected fault", werr)
+	}
+	if ss := s.child.StreamStats(); ss.Remaining == 0 {
+		t.Fatal("injected stream failure but no pages remaining")
+	}
+	if _, _, cerr := s.child.CloneOp(obs.Ctx(vclock.NewMeter(nil)), secondDom, true); !errors.Is(cerr, mem.ErrStreamPending) {
+		t.Fatalf("clone of half-streamed child = %v, want ErrStreamPending", cerr)
+	}
+	// Teardown still recovers every frame: the unstreamed pledges are
+	// cancelled by the child's release.
+	if err := s.release(sc.frames()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyDemandFaultInjection exercises the unmapped-fault point: an
+// injected failure surfaces on the faulting access, a retry after
+// disarming succeeds, and the scenario still converges to eager-equal
+// state.
+func TestLazyDemandFaultInjection(t *testing.T) {
+	sc := NewScenario(5)
+	eager, err := sc.build(mem.CloneEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := fault.NewRegistry()
+	lazy := &side{
+		mode:   mem.CloneLazy,
+		m:      mem.New(uint64(sc.frames()) * mem.PageSize),
+		buildM: vclock.NewMeter(nil),
+		cloneM: vclock.NewMeter(nil),
+		workM:  vclock.NewMeter(nil),
+	}
+	lazy.parent, err = mem.NewSpace(lazy.m, parentDom, sc.Pages, lazy.buildM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ps := range sc.specs {
+		pfn := mem.PFN(i)
+		if err := lazy.parent.Write(pfn, ps.off, ps.token, lazy.buildM); err != nil {
+			t.Fatal(err)
+		}
+		if ps.kind != mem.KindRegular {
+			if err := lazy.parent.SetKind(pfn, ps.kind); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ps.readOnly {
+			if err := lazy.parent.SetWritable(pfn, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctx := obs.Ctx(lazy.cloneM).WithFaults(reg)
+	lazy.child, lazy.st, err = lazy.parent.CloneOpMode(ctx, childDom, true, mem.CloneLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a deferred page and fault on it with the point armed.
+	var target mem.PFN
+	found := false
+	for i, ps := range sc.specs {
+		if ps.kind == mem.KindRegular && !ps.readOnly {
+			target, found = mem.PFN(i), true
+			break
+		}
+	}
+	if !found {
+		t.Skip("scenario has no writable regular page")
+	}
+	reg.Inject(fault.PointMemUnmappedFault, fault.FailAlways(), fault.Transient)
+	buf := make([]byte, 8)
+	rerr := lazy.child.ReadOp(obs.Ctx(lazy.workM), target, 0, buf)
+	if !fault.IsFault(rerr) {
+		// The streamer may have materialized the page before the read;
+		// that is a legal race, but then the fault point must never have
+		// fired for this access path.
+		if rerr != nil {
+			t.Fatalf("read = %v, want injected fault or success-after-stream", rerr)
+		}
+	}
+	reg.Clear(fault.PointMemUnmappedFault)
+	if err := lazy.child.ReadOp(obs.Ctx(lazy.workM), target, 0, buf); err != nil {
+		t.Fatalf("read after disarm: %v", err)
+	}
+
+	if _, _, err := lazy.child.WaitLazy(); err != nil {
+		t.Fatalf("WaitLazy: %v", err)
+	}
+	if _, _, err := eager.child.WaitLazy(); err != nil {
+		t.Fatalf("eager WaitLazy: %v", err)
+	}
+	if err := snapshotsEqual("child", eager.child, lazy.child); err != nil {
+		t.Fatal(err)
+	}
+	total := sc.frames()
+	if err := lazy.release(total); err != nil {
+		t.Fatal(err)
+	}
+	if err := eager.release(total); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyCloneRollbackCancelsPledges pins the rollback bug class: a lazy
+// clone that fails AFTER pledging (here: the pool runs out during the
+// child's metadata allocation) must cancel every pledge, or the parent's
+// frames zombify at release and the free list never recovers.
+func TestLazyCloneRollbackCancelsPledges(t *testing.T) {
+	const pages = 512
+	// Exactly enough for the parent, plus a sliver that cannot cover the
+	// child's metadata frames.
+	meta := mem.PTFrameCount(pages) + mem.P2MFrameCount(pages)
+	total := pages + meta + 1
+	m := mem.New(uint64(total) * mem.PageSize)
+	parent, err := mem.NewSpace(m, parentDom, pages, vclock.NewMeter(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, cerr := parent.CloneOpMode(obs.Ctx(vclock.NewMeter(nil)), childDom, true, mem.CloneLazy)
+	if cerr == nil {
+		t.Fatal("clone unexpectedly succeeded in an exhausted pool")
+	}
+	if err := parent.Release(); err != nil {
+		t.Fatalf("parent release after failed clone: %v", err)
+	}
+	if got := m.FreeFrames(); got != total {
+		t.Fatalf("free frames = %d, want %d: failed lazy clone leaked pledges", got, total)
+	}
+}

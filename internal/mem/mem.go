@@ -52,25 +52,35 @@ const InvalidMFN = MFN(^uint64(0))
 
 // Errors returned by the memory subsystem.
 var (
-	ErrOutOfMemory  = errors.New("mem: out of machine memory")
-	ErrBadFrame     = errors.New("mem: bad frame number")
-	ErrNotOwner     = errors.New("mem: domain does not own frame")
-	ErrNotShared    = errors.New("mem: frame is not shared")
-	ErrBadPFN       = errors.New("mem: pfn not populated")
-	ErrReadOnly     = errors.New("mem: write to read-only mapping without fault handling")
-	ErrBadOffset    = errors.New("mem: access crosses page boundary")
-	ErrDoubleFree   = errors.New("mem: frame already free")
-	ErrStillShared  = errors.New("mem: frame still has sharers")
-	ErrSpaceRetired = errors.New("mem: address space was released")
+	ErrOutOfMemory   = errors.New("mem: out of machine memory")
+	ErrBadFrame      = errors.New("mem: bad frame number")
+	ErrNotOwner      = errors.New("mem: domain does not own frame")
+	ErrNotShared     = errors.New("mem: frame is not shared")
+	ErrBadPFN        = errors.New("mem: pfn not populated")
+	ErrReadOnly      = errors.New("mem: write to read-only mapping without fault handling")
+	ErrBadOffset     = errors.New("mem: access crosses page boundary")
+	ErrDoubleFree    = errors.New("mem: frame already free")
+	ErrStillShared   = errors.New("mem: frame still has sharers")
+	ErrSpaceRetired  = errors.New("mem: address space was released")
+	ErrStreamPending = errors.New("mem: space still has unstreamed lazy pages")
+	ErrNotPledged    = errors.New("mem: frame carries no pledge")
 )
 
 // frame is one machine page. Data is allocated lazily: nil means the frame
 // reads as zeroes and has never been written, which keeps host memory usage
 // proportional to pages actually touched even when thousands of simulated
 // domains exist.
+//
+// pledges counts lazy-clone children that hold an unmaterialized claim on
+// the frame's clone-time contents (DESIGN.md §13). A pledged frame's
+// contents are immutable: any write path converts it to dom_cow first and
+// copies away, and teardown keeps a pledged frame alive as a dom_cow
+// "zombie" (refcount 0, pledges > 0) until the last pledge is adopted or
+// cancelled.
 type frame struct {
 	owner    DomID
 	refcount int32
+	pledges  int32
 	inUse    bool
 	data     []byte
 }
@@ -347,8 +357,9 @@ func (m *Memory) maskOf(n int, mfnAt func(int) MFN) uint32 {
 // designated multi-shard acquisition point: everything else must lock one
 // shard at a time or funnel through it (enforced by nephele-lint).
 //
-//nephele:lockorder-helper — set bits are walked low to high, so
 // acquisition order is ascending by construction.
+//
+//nephele:lockorder-helper — set bits are walked low to high, so
 func (m *Memory) lockMask(mask uint32) {
 	if mm := m.metrics.Load(); mm != nil {
 		start := time.Now() //nephele:nondeterministic-ok — lock-wait wall time is a diagnostic metric, never used for ordering
@@ -506,6 +517,7 @@ func (sh *shard) resetFrameLocked(mfn MFN) {
 	f.inUse = false
 	f.data = nil
 	f.refcount = 0
+	f.pledges = 0
 	f.owner = DomIDInvalid
 	sh.recycled = append(sh.recycled, mfn)
 }
@@ -584,12 +596,32 @@ func (m *Memory) Free(dom DomID, mfn MFN) error {
 	if f.owner == DomIDCOW {
 		return fmt.Errorf("%w: frame %d", ErrStillShared, mfn)
 	}
+	if f.pledges > 0 {
+		// Lazy children still hold claims on the clone-time contents: the
+		// frame outlives its owner as a dom_cow zombie until the last
+		// pledge is adopted or cancelled.
+		sh.zombifyLocked(m, f, dom)
+		return nil
+	}
 	sh.dropUsageLocked(f.owner, 1)
 	sh.resetFrameLocked(mfn)
 	m.beginAccount()
 	sh.free.Add(1)
 	m.endAccount()
 	return nil
+}
+
+// zombifyLocked turns a dom-owned frame with outstanding pledges into a
+// dom_cow zombie (refcount 0): the contents stay readable for lazy children
+// but no live domain owns the frame. sh must be locked.
+func (sh *shard) zombifyLocked(m *Memory, f *frame, dom DomID) {
+	sh.dropUsageLocked(dom, 1)
+	f.owner = DomIDCOW
+	f.refcount = 0
+	sh.usedByDom[DomIDCOW]++
+	m.beginAccount()
+	sh.shared.Add(1)
+	m.endAccount()
 }
 
 // Owner reports the owner of a frame.
@@ -848,7 +880,7 @@ func (m *Memory) CopyOnWrite(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, erro
 		sh.mu.Unlock()
 		return 0, fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
 	}
-	if f.refcount == 1 {
+	if f.refcount == 1 && f.pledges == 0 {
 		m.transferLastSharerLocked(sh, f, dom)
 		sh.mu.Unlock()
 		if meter != nil {
@@ -880,7 +912,7 @@ func (m *Memory) CopyOnWrite(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, erro
 		m.releaseOne(dom, newMFN)
 		return 0, err
 	}
-	if f.refcount == 1 {
+	if f.refcount == 1 && f.pledges == 0 {
 		// Raced with the other sharers dropping out between the unlock and
 		// the relock: transfer ownership as the last sharer and return the
 		// speculative frame.
@@ -954,7 +986,7 @@ func (m *Memory) DropShared(mfn MFN) error {
 		return fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
 	}
 	f.refcount--
-	if f.refcount == 0 {
+	if f.refcount == 0 && f.pledges == 0 {
 		sh.dropUsageLocked(DomIDCOW, 1)
 		sh.resetFrameLocked(mfn)
 		m.beginAccount()
@@ -1018,7 +1050,7 @@ func (m *Memory) releasePTEs(dom DomID, ptes []pte) error {
 func (m *Memory) releaseSegs(dom DomID, segs []segment, mask uint32, firstErr error) error {
 	m.lockMask(mask)
 	defer m.unlockMask(mask)
-	var ownFreed, cowFreed [MaxShards]int
+	var ownFreed, cowFreed, zombied [MaxShards]int
 	for _, sg := range segs {
 		sh := sg.sh
 		fr, short := sg.frames()
@@ -1033,13 +1065,21 @@ func (m *Memory) releaseSegs(dom DomID, segs []segment, mask uint32, firstErr er
 			switch f.owner {
 			case DomIDCOW:
 				f.refcount--
-				if f.refcount == 0 {
+				if f.refcount == 0 && f.pledges == 0 {
 					cowFreed[sg.si]++
 					sh.resetFrameLocked(sg.mfn(j))
 				}
 			case dom:
-				ownFreed[sg.si]++
-				sh.resetFrameLocked(sg.mfn(j))
+				if f.pledges > 0 {
+					// Lazy children still claim the clone-time contents:
+					// keep the frame as a dom_cow zombie.
+					f.owner = DomIDCOW
+					f.refcount = 0
+					zombied[sg.si]++
+				} else {
+					ownFreed[sg.si]++
+					sh.resetFrameLocked(sg.mfn(j))
+				}
 			}
 		}
 		if short && firstErr == nil {
@@ -1057,6 +1097,11 @@ func (m *Memory) releaseSegs(dom DomID, segs []segment, mask uint32, firstErr er
 			sh.dropUsageLocked(DomIDCOW, c)
 			sh.shared.Add(-int64(c))
 			sh.free.Add(int64(c))
+		}
+		if c := zombied[si]; c > 0 {
+			sh.dropUsageLocked(dom, c)
+			sh.usedByDom[DomIDCOW] += c
+			sh.shared.Add(int64(c))
 		}
 	}
 	m.endAccount()

@@ -12,6 +12,8 @@ type memMetrics struct {
 	cowFaults        *obs.Counter // mem.cow_faults: resolved COW write faults
 	lockWaitNS       *obs.Counter // mem.shard_lock_wait_ns: wall time spent acquiring multi-shard locks
 	lockAcquisitions *obs.Counter // mem.shard_lock_acquisitions: shard locks taken by multi-shard operations
+	streamExtents    *obs.Counter // mem.stream.extents: chunks materialized by lazy-clone streamers
+	unmappedFaults   *obs.Counter // mem.fault.unmapped: demand faults on lazy entries
 }
 
 // SetMetrics attaches a registry to the pool's opt-in hot-path
@@ -26,5 +28,7 @@ func (m *Memory) SetMetrics(r *obs.Registry) {
 		cowFaults:        r.Counter("mem.cow_faults"),
 		lockWaitNS:       r.Counter("mem.shard_lock_wait_ns"),
 		lockAcquisitions: r.Counter("mem.shard_lock_acquisitions"),
+		streamExtents:    r.Counter("mem.stream.extents"),
+		unmappedFaults:   r.Counter("mem.fault.unmapped"),
 	})
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nephele/internal/obs"
 	"nephele/internal/vclock"
@@ -68,11 +69,18 @@ func (k PageKind) String() string {
 }
 
 // pte is the per-page mapping state of an address space.
+//
+// A lazy entry is the unmapped state of lazy cloning (DESIGN.md §13): the
+// child holds a pledge on the parent's frame instead of a sharer reference,
+// and mfn names that source frame so demand faults and the streamer know
+// what to materialize from. lazy entries are present (reads resolve them
+// transparently) but never carry cow until materialized.
 type pte struct {
 	mfn      MFN
 	present  bool
 	writable bool
 	cow      bool // write-protected because the frame is family-shared
+	lazy     bool // unmaterialized lazy-clone entry; mfn is the pledged source frame
 	kind     PageKind
 }
 
@@ -120,6 +128,8 @@ type Space struct {
 
 	// faults counts resolved COW write faults, for experiment stats.
 	faults int
+	// unmapped counts resolved demand (unmapped) faults on lazy entries.
+	unmapped int
 	// dirty records the pfns privatized by COW faults since the last
 	// TakeDirty, so clone_reset restores exactly the dirtied set instead
 	// of scanning the whole space. dirtySet deduplicates it: a pfn that
@@ -127,6 +137,18 @@ type Space struct {
 	// once in the work list.
 	dirty    []PFN
 	dirtySet map[PFN]struct{}
+
+	// lazy is the streamer state of a lazily cloned child (nil otherwise);
+	// it is set before the space is published and never replaced. lazyOn
+	// is the hot-path gate the access paths load to decide whether to
+	// signal the streamer; lazyPTEs records that the table held lazy
+	// entries so release knows to cancel outstanding pledges; everPledged
+	// marks a parent whose frames may carry pledges, routing later eager
+	// clones through the transfer-aware share path.
+	lazy        *lazyState
+	lazyOn      atomic.Bool
+	lazyPTEs    bool
+	everPledged bool
 }
 
 // PTFrameCount returns the number of page-table frames needed to map n
@@ -268,13 +290,30 @@ func (s *Space) pteLocked(pfn PFN) (*pte, error) {
 	return p, nil
 }
 
-// Read copies data from guest page pfn at off.
+// Read copies data from guest page pfn at off, materializing a lazy entry
+// first. A meterless read on a lazy page charges the materialization to the
+// streamer's meter; use ReadOp to charge the faulting operation instead.
 func (s *Space) Read(pfn PFN, off int, buf []byte) error {
+	return s.ReadOp(obs.OpCtx{}, pfn, off, buf)
+}
+
+// ReadOp is Read with an operation context: a demand fault on a lazy entry
+// opens a demand-fault span and charges the context's meter.
+func (s *Space) ReadOp(ctx obs.OpCtx, pfn PFN, off int, buf []byte) error {
+	if ls := s.demandHint(); ls != nil {
+		defer ls.wantFault.Add(-1)
+	}
 	s.mu.Lock()
 	p, err := s.pteLocked(pfn)
 	if err != nil {
 		s.mu.Unlock()
 		return err
+	}
+	if p.lazy {
+		if err := s.demandFaultLocked(ctx, pfn, p); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	mfn := p.mfn
 	s.mu.Unlock()
@@ -284,26 +323,33 @@ func (s *Space) Read(pfn PFN, off int, buf []byte) error {
 // Write stores data into guest page pfn at off, resolving a COW fault
 // first when the page is family-shared.
 func (s *Space) Write(pfn PFN, off int, buf []byte, meter *vclock.Meter) error {
+	return s.WriteOp(obs.Ctx(meter), pfn, off, buf)
+}
+
+// WriteOp is Write with an operation context: a lazy entry is materialized
+// (demand-fault span) before the regular COW break, both charged to the
+// context's meter.
+func (s *Space) WriteOp(ctx obs.OpCtx, pfn PFN, off int, buf []byte) error {
+	if ls := s.demandHint(); ls != nil {
+		defer ls.wantFault.Add(-1)
+	}
 	s.mu.Lock()
 	p, err := s.pteLocked(pfn)
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	if p.cow {
-		newMFN, err := s.mem.CopyOnWrite(s.dom, p.mfn, meter)
-		if err != nil {
+	if p.lazy {
+		if err := s.demandFaultLocked(ctx, pfn, p); err != nil {
 			s.mu.Unlock()
 			return err
 		}
-		p.mfn = newMFN
-		p.cow = false
-		p.writable = true
-		s.faults++
-		if mm := s.mem.metrics.Load(); mm != nil {
-			mm.cowFaults.Inc()
+	}
+	if p.cow {
+		if err := s.breakCOWLocked(pfn, p, ctx.Meter()); err != nil {
+			s.mu.Unlock()
+			return err
 		}
-		s.markDirtyLocked(pfn)
 	} else if !p.writable {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: pfn %d", ErrReadOnly, pfn)
@@ -313,20 +359,35 @@ func (s *Space) Write(pfn PFN, off int, buf []byte, meter *vclock.Meter) error {
 	return s.mem.Write(mfn, off, buf)
 }
 
-// TouchCOW forces the COW fault path for a page without writing data,
-// exactly what the clone_cow CLONEOP subcommand does for the fuzzer's
-// breakpoint pages (§7.2).
+// TouchCOW forces the fault path for a page without writing data, exactly
+// what the clone_cow CLONEOP subcommand does for the fuzzer's breakpoint
+// pages (§7.2). On a lazy entry it materializes the page first (the
+// unmapped-fault path), then breaks the COW protection as usual.
 func (s *Space) TouchCOW(pfn PFN, meter *vclock.Meter) error {
+	if ls := s.demandHint(); ls != nil {
+		defer ls.wantFault.Add(-1)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, err := s.pteLocked(pfn)
 	if err != nil {
 		return err
 	}
+	if p.lazy {
+		if err := s.demandFaultLocked(obs.Ctx(meter), pfn, p); err != nil {
+			return err
+		}
+	}
 	if !p.cow {
 		return nil
 	}
-	newMFN, err := s.mem.CopyOnWrite(s.dom, p.mfn, meter)
+	return s.breakCOWLocked(pfn, p, meter)
+}
+
+// breakCOWLocked privatizes a COW-marked page: the write-fault dispatch all
+// write paths share. s.mu must be held.
+func (s *Space) breakCOWLocked(pfn PFN, p *pte, meter *vclock.Meter) error {
+	newMFN, err := s.mem.resolveCOW(s.dom, p.mfn, meter)
 	if err != nil {
 		return err
 	}
@@ -379,6 +440,7 @@ type CloneStats struct {
 	P2MEntries    int // p2m entries rebuilt for the child
 	MetaFrames    int // page-table + p2m frames allocated for the child
 	Extents       int // same-state runs the clone walk batched over
+	Deferred      int // lazy entries left unmaterialized (CloneLazy only)
 }
 
 // Clone is the legacy meter-threading form of CloneOp, kept so existing
@@ -396,12 +458,28 @@ func (s *Space) Clone(childDom DomID, copyRing bool, meter *vclock.Meter) (*Spac
 // become COW in the parent. copyRing controls whether KindIORing contents
 // are copied (network devices) or left fresh (console).
 func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, CloneStats, error) {
+	return s.CloneOpMode(ctx, childDom, copyRing, CloneEager)
+}
+
+// CloneOpMode is CloneOp with an explicit clone mode. Under CloneLazy the
+// regular extents are not shared at clone time: the parent's frames are
+// pledged (no ownership transfer, no charge), the child's entries enter the
+// lazy state, and a background streamer — plus the demand-fault paths in
+// Read/Write/TouchCOW — materializes them afterwards, charging the deferred
+// PageShare/PTEntryClone/P2MEntryClone exactly once per page. Private kinds,
+// IDC regions and the metadata frames are always cloned eagerly (they are
+// the hot set a child needs to run at all). A space whose own lazy entries
+// are not yet fully materialized cannot be cloned (ErrStreamPending).
+func (s *Space) CloneOpMode(ctx obs.OpCtx, childDom DomID, copyRing bool, mode CloneMode) (*Space, CloneStats, error) {
 	meter := ctx.Meter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var st CloneStats
 	if s.retired {
 		return nil, st, ErrSpaceRetired
+	}
+	if s.lazy != nil && s.lazy.remaining > 0 {
+		return nil, st, ErrStreamPending
 	}
 
 	// The walk below only mutates the parent (COW bits, sharer counts);
@@ -417,6 +495,11 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 		mfns   []MFN
 	}
 	var fixups []fixup
+	// lazyRuns records the pfn ranges deferred under CloneLazy, in
+	// ascending order: the child's entries there become lazy, and the
+	// unwind cancels their pledges instead of dropping sharer references
+	// the child never took.
+	var lazyRuns []fixup
 	done := 0 // entries below this index have taken their child references
 	var wspan, bspan obs.Span
 	fail := func(err error) (*Space, CloneStats, error) {
@@ -425,9 +508,18 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 		// Unwind the half-built child: shared extents are reconstructed
 		// from the parent's entries, private frames from the fixups.
 		// ReleaseN gives them the same dispatch child.release() would
-		// (drop a sharer reference, free an owned frame).
+		// (drop a sharer reference, free an owned frame). Deferred lazy
+		// runs are excluded — their child references are pledges, and
+		// those are cancelled separately below.
 		var undo []MFN
+		li := 0
 		for i := 0; i < done; i++ {
+			for li < len(lazyRuns) && lazyRuns[li].hi <= i {
+				li++
+			}
+			if li < len(lazyRuns) && lazyRuns[li].lo <= i {
+				continue
+			}
 			p := &s.ptes[i]
 			if p.present && (p.kind == KindIDC || p.kind == KindRegular) {
 				undo = append(undo, p.mfn)
@@ -437,6 +529,9 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 			undo = append(undo, fx.mfns...)
 		}
 		s.mem.ReleaseN(childDom, undo)
+		for _, lr := range lazyRuns {
+			s.mem.cancelPledged(s.ptes[lr.lo:lr.hi])
+		}
 		return nil, st, err
 	}
 
@@ -468,10 +563,13 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 		ext := s.ptes[lo:hi]
 
 		// One span per extent, named for the clone policy it went through:
-		// family sharing versus private duplication.
+		// family sharing, lazy deferral, or private duplication.
 		name := "private-copy"
 		if p.kind == KindIDC || p.kind == KindRegular {
 			name = "cow-share"
+			if p.kind == KindRegular && mode == CloneLazy {
+				name = "lazy-pledge"
+			}
 		}
 		_, bspan = wctx.StartSpan(name)
 		switch p.kind {
@@ -486,10 +584,34 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 			}
 			st.SharedPages += n
 		case KindRegular:
+			if mode == CloneLazy {
+				// Defer the whole extent: pledge the frames (no
+				// transfer, no charge) and leave the child entries
+				// unmapped. The parent's writable pages still become
+				// COW now — a parent write before materialization must
+				// copy away so the pledged clone-time contents survive.
+				if err := s.mem.pledgePTEs(ext); err != nil {
+					return fail(err)
+				}
+				if p.writable && !p.cow {
+					for i := range ext {
+						ext[i].cow = true
+					}
+				}
+				s.everPledged = true
+				lazyRuns = append(lazyRuns, fixup{lo: lo, hi: hi})
+				st.Deferred += n
+				st.Extents++
+				bspan.End()
+				bspan = obs.Span{}
+				done = hi
+				lo = hi
+				continue
+			}
 			// Share between parent and child. Writable pages are
 			// marked COW on both ends; read-only pages (text) are
 			// shared with no fault cost ever.
-			if p.cow {
+			if p.cow && !s.everPledged {
 				// Already family-shared from an earlier clone: the
 				// whole extent is one batched sharer bump. This is
 				// the 2nd..Nth-clone fast path.
@@ -497,6 +619,12 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 					return fail(err)
 				}
 			} else {
+				// sharePTEs transfers frames still owned by the
+				// parent and bumps frames dom_cow already owns — the
+				// per-frame dispatch an everPledged parent needs,
+				// since a pledged frame converts only when first
+				// materialized or eagerly re-shared (one PageShare
+				// per frame either way).
 				if err := s.mem.sharePTEs(s.dom, ext, 2, meter); err != nil {
 					return fail(err)
 				}
@@ -582,6 +710,16 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 			child.ptes[fx.lo+i].mfn = mfn
 		}
 	}
+	for _, lr := range lazyRuns {
+		// Deferred entries enter the unmapped-lazy state: mfn keeps naming
+		// the pledged source frame, and the COW bit (set on the parent
+		// side above) stays clear until materialization decides it.
+		for i := lr.lo; i < lr.hi; i++ {
+			child.ptes[i].lazy = true
+			child.ptes[i].cow = false
+		}
+	}
+	child.lazyPTEs = len(lazyRuns) > 0
 
 	// Rebuild the child's page-table and p2m metadata frames. This is
 	// the dominant clone cost at large memory sizes (§6.2): every
@@ -602,6 +740,9 @@ func (s *Space) CloneOp(ctx obs.OpCtx, childDom DomID, copyRing bool) (*Space, C
 	if meter != nil {
 		meter.Charge(meter.Costs().PTEntryClone, st.PTEntries)
 		meter.Charge(meter.Costs().P2MEntryClone, st.P2MEntries)
+	}
+	if st.Deferred > 0 {
+		child.startStream(ctx, st.Deferred)
 	}
 	return child, st, nil
 }
@@ -625,7 +766,7 @@ func (s *Space) MarkAllCOW() {
 	}
 	for i := range s.ptes {
 		p := &s.ptes[i]
-		if p.present && p.kind == KindRegular && p.writable {
+		if p.present && !p.lazy && p.kind == KindRegular && p.writable {
 			if owner, err := s.mem.Owner(p.mfn); err == nil && owner == DomIDCOW {
 				p.cow = true
 			}
@@ -665,8 +806,12 @@ func (s *Space) Remap(pfn PFN, mfn MFN, cow bool) error {
 }
 
 // Release frees every frame of the space: owned frames are freed, shared
-// frames drop one reference.
+// frames drop one reference. An in-flight streamer is cancelled and drained
+// first — dropping sharer references while the streamer still adopts
+// pledges would corrupt the family's refcounts (and leak the unstreamed
+// pledges).
 func (s *Space) Release() error {
+	s.CancelStream()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.release()
@@ -676,6 +821,30 @@ func (s *Space) release() error {
 	if s.retired {
 		return nil
 	}
+	var firstErr error
+	if s.lazyPTEs {
+		// Cancel the pledges behind still-unmaterialized entries and
+		// retire those entries before the batched release: the space
+		// holds pledges there, not sharer references, and releasePTEs
+		// must not drop references it never took.
+		for lo := 0; lo < len(s.ptes); {
+			if !s.ptes[lo].lazy {
+				lo++
+				continue
+			}
+			hi := lo + 1
+			for hi < len(s.ptes) && s.ptes[hi].lazy {
+				hi++
+			}
+			if err := s.mem.cancelPledged(s.ptes[lo:hi]); firstErr == nil {
+				firstErr = err
+			}
+			for i := lo; i < hi; i++ {
+				s.ptes[i].present = false
+			}
+			lo = hi
+		}
+	}
 	// Batched passes over everything the space holds: shared frames drop
 	// a reference, owned frames are freed, frames owned by another domain
 	// are left alone — the same per-frame dispatch the old per-page
@@ -683,7 +852,9 @@ func (s *Space) release() error {
 	// the page table as extents (no intermediate MFN list); the metadata
 	// frames follow. Setting retired retires every entry, so the per-pte
 	// present bits need no touching.
-	firstErr := s.mem.releasePTEs(s.dom, s.ptes)
+	if err := s.mem.releasePTEs(s.dom, s.ptes); firstErr == nil {
+		firstErr = err
+	}
 	if err := s.mem.ReleaseN(s.dom, s.ptFrames); firstErr == nil {
 		firstErr = err
 	}
