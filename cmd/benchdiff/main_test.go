@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBenchMinOfRepetitions: with -count N the same benchmark appears
+// several times; the recorded ns/op must be the minimum repetition, and a
+// later slower repetition must not displace an earlier faster one.
+func TestParseBenchMinOfRepetitions(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkFoo/a=1   	  20	  150000 ns/op	  14 allocs/op
+BenchmarkFoo/a=1   	  20	  120000 ns/op	  14 allocs/op
+BenchmarkFoo/a=1   	  20	  180000 ns/op	  14 allocs/op
+`)
+	got, cpus, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := got["BenchmarkFoo/a=1"]
+	if !ok {
+		t.Fatalf("benchmark missing: %v", got)
+	}
+	if rec.NsPerOp != 120000 {
+		t.Fatalf("ns/op = %v, want the minimum repetition 120000", rec.NsPerOp)
+	}
+	if rec.AllocsPerOp != 14 {
+		t.Fatalf("allocs/op = %v, want 14", rec.AllocsPerOp)
+	}
+	if cpus["BenchmarkFoo/a=1"][1] != 120000 {
+		t.Fatalf("per-cpu map = %v, want the minimum", cpus["BenchmarkFoo/a=1"])
+	}
+}
+
+// TestParseBenchLowestCPU: under -cpu 2,8 the -N suffix is stripped and the
+// lowest-cpu run is what lands in the comparison record, while the per-cpu
+// map keeps both for the speedup reports — including min-of-count per cpu.
+func TestParseBenchLowestCPU(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkBar/sched=affinity-2	 3	 40272000 ns/op	 326 allocs/op
+BenchmarkBar/sched=affinity-8	 3	 16360500 ns/op	 326 allocs/op
+BenchmarkBar/sched=affinity-8	 3	 16360500 ns/op	 326 allocs/op
+`)
+	got, cpus, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := got["BenchmarkBar/sched=affinity"]
+	if rec.NsPerOp != 40272000 {
+		t.Fatalf("ns/op = %v, want the cpu=2 run", rec.NsPerOp)
+	}
+	byCPU := cpus["BenchmarkBar/sched=affinity"]
+	if byCPU[2] != 40272000 || byCPU[8] != 16360500 {
+		t.Fatalf("per-cpu map = %v", byCPU)
+	}
+}
+
+// TestParseBenchIgnoresCustomMetrics: a wall-ns/op custom metric line from
+// b.ReportMetric shares the benchmark's result line; only the real ` ns/op`
+// column may be parsed, and non-benchmark chatter is skipped.
+func TestParseBenchIgnoresCustomMetrics(t *testing.T) {
+	in := strings.NewReader(`
+goos: linux
+BenchmarkQux/p=1	 3	 26428500 ns/op	 12000 wall-ns/op	 86 allocs/op
+PASS
+`)
+	got, _, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := got["BenchmarkQux/p=1"]
+	if !ok || rec.NsPerOp != 26428500 {
+		t.Fatalf("got %v, want ns/op 26428500", got)
+	}
+	if rec.AllocsPerOp != 86 {
+		t.Fatalf("allocs/op = %v, want 86", rec.AllocsPerOp)
+	}
+}

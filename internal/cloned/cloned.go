@@ -326,7 +326,7 @@ func (d *Daemon) CloneAll(reqs []hv.CloneRequest, meter *vclock.Meter) ([]hv.Clo
 // receives the Serve charges; each request's first stage charges the
 // request's own context, so batching never leaks charges between parents.
 func (d *Daemon) CloneRound(ctx obs.OpCtx, reqs []hv.CloneRequest) ([]hv.CloneResult, int, error) {
-	results := d.HV.CloneOpCloneBatch(reqs)
+	results := d.HV.CloneBatchCtx(ctx, reqs)
 	served, err := d.Serve(ctx)
 	for _, r := range results {
 		if r.Done != nil {

@@ -86,6 +86,11 @@ const (
 	// PointMemLazyFinalize fires when the streamer observes the last lazy
 	// entry materialized and finalizes the child.
 	PointMemLazyFinalize = "mem/lazy-finalize"
+
+	// PointMemRestride fires inside Memory.RestrideOp after the pool is
+	// quiesced but before the new layout is published; an armed point
+	// aborts the re-stride and the old layout stays in place.
+	PointMemRestride = "mem/restride"
 )
 
 // FirstStagePoints lists the fault points inside the CLONEOP hypercall:

@@ -51,12 +51,23 @@ const streamChunk = 128
 // before any mutation, so a failed call leaves the pool untouched.
 func (m *Memory) pledgePTEs(ptes []pte) error {
 	var buf [segStack]segment
-	segs, mask, err := m.segmentsPTEs(ptes, buf[:0])
-	if err != nil {
-		return err
+	for {
+		lay := m.lay.Load()
+		segs, mask, err := lay.segmentsPTEs(ptes, buf[:0])
+		if err != nil {
+			return err
+		}
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.pledgeSegs(lay, segs, mask)
 	}
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
+}
+
+// pledgeSegs applies pledgePTEs's validate-then-mutate pass. The caller has
+// locked mask's shards under a validated pin of lay; pledgeSegs unlocks.
+func (m *Memory) pledgeSegs(lay *layout, segs []segment, mask uint32) error {
+	defer m.unlockMask(lay, mask)
 	for _, sg := range segs {
 		fr, short := sg.frames()
 		for j := range fr {
@@ -83,9 +94,21 @@ func (m *Memory) pledgePTEs(ptes []pte) error {
 // and the first error is returned after the whole run is processed.
 func (m *Memory) cancelPledged(ptes []pte) error {
 	var buf [segStack]segment
-	segs, mask, firstErr := m.segmentsPTEsSkipBad(ptes, buf[:0])
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
+	for {
+		lay := m.lay.Load()
+		segs, mask, firstErr := lay.segmentsPTEsSkipBad(ptes, buf[:0])
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.cancelPledgedSegs(lay, segs, mask, firstErr)
+	}
+}
+
+// cancelPledgedSegs applies cancelPledged's skip-and-record pass. The caller
+// has locked mask's shards under a validated pin of lay; cancelPledgedSegs
+// unlocks.
+func (m *Memory) cancelPledgedSegs(lay *layout, segs []segment, mask uint32, firstErr error) error {
+	defer m.unlockMask(lay, mask)
 	var freed [MaxShards]int
 	for _, sg := range segs {
 		fr, short := sg.frames()
@@ -108,9 +131,9 @@ func (m *Memory) cancelPledged(ptes []pte) error {
 		}
 	}
 	m.beginAccount()
-	for si := range m.shards {
+	for si := range lay.shards {
 		if c := freed[si]; c > 0 {
-			sh := &m.shards[si]
+			sh := &lay.shards[si]
 			sh.dropUsageLocked(DomIDCOW, c)
 			sh.shared.Add(-int64(c))
 			sh.free.Add(int64(c))
@@ -123,20 +146,20 @@ func (m *Memory) cancelPledged(ptes []pte) error {
 // segmentsPTEsSkipBad is segmentsPTEs under cancelPledged's skip-and-record
 // rules: out-of-range MFNs are dropped and the first such error returned
 // alongside the segments.
-func (m *Memory) segmentsPTEsSkipBad(ptes []pte, segs []segment) ([]segment, uint32, error) {
+func (lay *layout) segmentsPTEsSkipBad(ptes []pte, segs []segment) ([]segment, uint32, error) {
 	var mask uint32
 	var firstErr error
 	for lo := 0; lo < len(ptes); {
 		start := ptes[lo].mfn
-		if int(start) >= m.total {
+		if int(start) >= lay.total {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: %d", ErrBadFrame, start)
 			}
 			lo++
 			continue
 		}
-		si := int(start >> m.shift)
-		sh := &m.shards[si]
+		si := int(start >> lay.shift)
+		sh := &lay.shards[si]
 		mask |= 1 << si
 		end := start + 1
 		lim := sh.lo + MFN(sh.size)
@@ -162,12 +185,24 @@ func (m *Memory) segmentsPTEsSkipBad(ptes []pte, segs []segment) ([]segment, uin
 // before any mutation.
 func (m *Memory) adoptPledged(dom DomID, ptes []pte, meter *vclock.Meter) error {
 	var buf [segStack]segment
-	segs, mask, err := m.segmentsPTEs(ptes, buf[:0])
-	if err != nil {
-		return err
+	for {
+		lay := m.lay.Load()
+		segs, mask, err := lay.segmentsPTEs(ptes, buf[:0])
+		if err != nil {
+			return err
+		}
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.adoptPledgedSegs(lay, dom, segs, mask, meter)
 	}
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
+}
+
+// adoptPledgedSegs applies adoptPledged's validate-then-mutate pass. The
+// caller has locked mask's shards under a validated pin of lay;
+// adoptPledgedSegs unlocks.
+func (m *Memory) adoptPledgedSegs(lay *layout, dom DomID, segs []segment, mask uint32, meter *vclock.Meter) error {
+	defer m.unlockMask(lay, mask)
 	for _, sg := range segs {
 		fr, short := sg.frames()
 		for j := range fr {
@@ -204,9 +239,9 @@ func (m *Memory) adoptPledged(dom DomID, ptes []pte, meter *vclock.Meter) error 
 	}
 	if converted > 0 {
 		m.beginAccount()
-		for si := range m.shards {
+		for si := range lay.shards {
 			if c := perShard[si]; c > 0 {
-				m.shards[si].shared.Add(int64(c))
+				lay.shards[si].shared.Add(int64(c))
 			}
 		}
 		m.endAccount()
@@ -235,12 +270,11 @@ func (m *Memory) resolveCOW(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, error
 			// an owner mismatch can mean a pledged or stale frame.
 			return 0, err
 		}
-		sh, errSh := m.shardChecked(mfn)
+		lay, sh, errSh := m.lockShard(mfn)
 		if errSh != nil {
 			return 0, err
 		}
-		sh.mu.Lock()
-		f, errF := m.frameAt(mfn)
+		f, errF := lay.frameAt(mfn)
 		if errF != nil {
 			sh.mu.Unlock()
 			return 0, err

@@ -64,6 +64,7 @@ var (
 	ErrSpaceRetired  = errors.New("mem: address space was released")
 	ErrStreamPending = errors.New("mem: space still has unstreamed lazy pages")
 	ErrNotPledged    = errors.New("mem: frame carries no pledge")
+	ErrBadStride     = errors.New("mem: shard count must be a power of two within limits")
 )
 
 // frame is one machine page. Data is allocated lazily: nil means the frame
@@ -85,13 +86,17 @@ type frame struct {
 	data     []byte
 }
 
-// Shard sizing. The pool is split into at most MaxShards contiguous
-// MFN-range shards (a power of two); pools too small to give every shard
+// Shard sizing. The pool is split into contiguous MFN-range shards (a
+// power-of-two count); pools too small to give every shard
 // minFramesPerShard collapse to fewer shards so tiny test pools stay
-// single-lock and fully deterministic.
+// single-lock and fully deterministic. New picks at most defaultMaxShards
+// on its own; Restride can go up to MaxShards.
 const (
-	// MaxShards is the upper bound on the shard count (power of two).
-	MaxShards = 16
+	// MaxShards is the hard upper bound on the shard count (power of two):
+	// shard lock masks are uint32 bitmaps.
+	MaxShards = 32
+	// defaultMaxShards caps the shard count New chooses automatically.
+	defaultMaxShards = 16
 	// minFramesPerShard keeps shards from becoming so small that a single
 	// guest straddles many of them (4096 frames = 16 MiB).
 	minFramesPerShard = 4096
@@ -124,6 +129,20 @@ type shard struct {
 	_ [24]byte // pad to 128 bytes
 }
 
+// layout is one generation of the pool's shard geometry: the stride, the
+// shard slice, and everything derived from them. Operations pin the current
+// layout with one atomic load, derive their segments against it, and
+// validate the pin after locking (see Memory); Restride builds a fresh
+// layout under full quiescence and publishes it with one pointer store, so
+// a layout's geometry is immutable for its whole lifetime.
+type layout struct {
+	total  int  // pool size in frames (same for every generation)
+	stride int  // frames per shard range (power of two)
+	shift  uint // log2(stride): MFN → shard index is one shift
+	epoch  uint64
+	shards []shard
+}
+
 // Memory is the machine memory pool. All methods are safe for concurrent
 // use by multiple simulated domains.
 //
@@ -137,18 +156,37 @@ type shard struct {
 // frames, dom_cow frames) are per-shard atomics aggregated under a
 // seqlock-style read path so aggregate reads stay one coherent pass.
 //
+// The shard geometry itself is dynamic (Restride, DESIGN.md §14): the
+// current geometry lives in an atomically published layout, every
+// operation pins it with one atomic load and re-validates the pin after
+// taking its shard locks, and the re-stride writer swaps in a rebuilt
+// layout only while holding every shard lock of the old one. An operation
+// that loses that race observes the swap on its post-lock validation,
+// drops its locks and re-derives against the new layout — frame state is
+// keyed by MFN, which no re-stride ever changes, so the retry is invisible
+// to callers.
+//
 // Frame metadata is materialized lazily: frames above a shard's allocation
 // watermark have never existed, so creating a multi-GiB pool costs nothing
 // until frames are handed out. Allocation is deterministic given the
-// operation sequence: a domain allocates from its home shard (dom modulo
-// shard count) first — recycled frames LIFO, then the lowest
-// never-allocated MFN of the range — and overflows to the next shards in
-// ascending wrap-around order.
+// operation sequence: a domain allocates from its home shard (a
+// stride-stable multiplicative hash of its ID) first — recycled frames
+// LIFO, then the lowest never-allocated MFN of the range — and overflows
+// to the next shards in ascending wrap-around order.
 type Memory struct {
-	total  int  // pool size in frames
-	stride int  // frames per shard range (power of two)
-	shift  uint // log2(stride): MFN → shard index is one shift
-	shards []shard
+	total int // pool size in frames
+
+	// lay is the current shard geometry. Loaded once per operation
+	// (pinned), re-validated after the operation's shard locks are taken.
+	lay atomic.Pointer[layout]
+
+	// restrideMu serializes re-stride writers. In the pool-wide lock order
+	// it comes strictly before every shard lock: Restride acquires it and
+	// then the full shard mask, and no code path acquires it while holding
+	// a shard lock (enforced by nephele-lint's lockorder analyzer).
+	//
+	//nephele:lockorder-prelock
+	restrideMu sync.Mutex
 
 	// accSeq is bumped (to odd, then back to even is NOT guaranteed with
 	// concurrent writers — readers use plain equality) around every
@@ -160,26 +198,20 @@ type Memory struct {
 	metrics atomic.Pointer[memMetrics]
 }
 
-// New creates a machine memory pool of totalBytes (rounded down to whole
-// frames). The shard count is always a power of two and the stride is
-// rounded up to a power of two, so mapping an MFN to its shard is a single
-// shift on the clone hot path; when the total is not a multiple of the
-// stride, tail shards cover a short or empty range.
-func New(totalBytes uint64) *Memory {
-	total := int(totalBytes / PageSize)
-	nsh := 1
-	for nsh < MaxShards && total/(nsh*2) >= minFramesPerShard {
-		nsh *= 2
-	}
+// newLayout builds the shard slice for total frames at the given shard
+// count: stride is ceil(total/nsh) rounded up to a power of two so mapping
+// an MFN to its shard is a single shift, and tail shards past the pool end
+// cover a short or empty range.
+func newLayout(total, nsh int, epoch uint64) *layout {
 	per := (total + nsh - 1) / nsh
 	if per < 1 {
 		per = 1
 	}
 	shift := uint(bits.Len(uint(per - 1))) // ceil(log2(per))
 	stride := 1 << shift
-	m := &Memory{total: total, stride: stride, shift: shift, shards: make([]shard, nsh)}
-	for i := range m.shards {
-		sh := &m.shards[i]
+	lay := &layout{total: total, stride: stride, shift: shift, epoch: epoch, shards: make([]shard, nsh)}
+	for i := range lay.shards {
+		sh := &lay.shards[i]
 		sh.lo = MFN(i * stride)
 		sh.size = 0
 		if rest := total - i*stride; rest > 0 {
@@ -191,30 +223,53 @@ func New(totalBytes uint64) *Memory {
 		sh.usedByDom = make(map[DomID]int)
 		sh.free.Store(int64(sh.size))
 	}
+	return lay
+}
+
+// New creates a machine memory pool of totalBytes (rounded down to whole
+// frames). The shard count is always a power of two and the stride is
+// rounded up to a power of two, so mapping an MFN to its shard is a single
+// shift on the clone hot path; when the total is not a multiple of the
+// stride, tail shards cover a short or empty range.
+func New(totalBytes uint64) *Memory {
+	total := int(totalBytes / PageSize)
+	nsh := 1
+	for nsh < defaultMaxShards && total/(nsh*2) >= minFramesPerShard {
+		nsh *= 2
+	}
+	m := &Memory{total: total}
+	m.lay.Store(newLayout(total, nsh, 0))
 	return m
 }
 
 // Shards reports the number of MFN-range shards the pool is split into.
-func (m *Memory) Shards() int { return len(m.shards) }
+func (m *Memory) Shards() int { return len(m.lay.Load().shards) }
+
+// Stride reports the current frames-per-shard stride (a power of two).
+func (m *Memory) Stride() int { return m.lay.Load().stride }
+
+// LayoutEpoch reports the pool's re-stride generation: 0 at New, +1 per
+// completed Restride. A failed or no-op Restride leaves it unchanged.
+func (m *Memory) LayoutEpoch() uint64 { return m.lay.Load().epoch }
 
 // shardIdx maps an in-range MFN to its shard index.
-func (m *Memory) shardIdx(mfn MFN) int { return int(mfn >> m.shift) }
+func (lay *layout) shardIdx(mfn MFN) int { return int(mfn >> lay.shift) }
 
 // shardChecked returns the shard covering mfn, or ErrBadFrame.
-func (m *Memory) shardChecked(mfn MFN) (*shard, error) {
-	if int(mfn) >= m.total {
+func (lay *layout) shardChecked(mfn MFN) (*shard, error) {
+	if int(mfn) >= lay.total {
 		return nil, fmt.Errorf("%w: %d", ErrBadFrame, mfn)
 	}
-	return &m.shards[m.shardIdx(mfn)], nil
+	return &lay.shards[lay.shardIdx(mfn)], nil
 }
 
 // frameAt returns the frame metadata for mfn. The shard covering mfn must
-// be locked by the caller.
-func (m *Memory) frameAt(mfn MFN) (*frame, error) {
-	if int(mfn) >= m.total {
+// be locked by the caller under a validated pin of this layout.
+func (lay *layout) frameAt(mfn MFN) (*frame, error) {
+	if int(mfn) >= lay.total {
 		return nil, fmt.Errorf("%w: %d", ErrBadFrame, mfn)
 	}
-	sh := &m.shards[m.shardIdx(mfn)]
+	sh := &lay.shards[lay.shardIdx(mfn)]
 	idx := int(mfn - sh.lo)
 	if idx >= len(sh.frames) || !sh.frames[idx].inUse {
 		return nil, fmt.Errorf("%w: %d", ErrDoubleFree, mfn)
@@ -259,15 +314,15 @@ func (sg segment) mfn(j int) MFN { return sg.sh.lo + MFN(sg.a+j) }
 // segmentsMFNs splits a run of MFNs into contiguous same-shard segments,
 // accumulating the shard lock mask. An out-of-range MFN fails the whole
 // call (the callers' validate-before-mutate contract).
-func (m *Memory) segmentsMFNs(mfns []MFN, segs []segment) ([]segment, uint32, error) {
+func (lay *layout) segmentsMFNs(mfns []MFN, segs []segment) ([]segment, uint32, error) {
 	var mask uint32
 	for lo := 0; lo < len(mfns); {
 		start := mfns[lo]
-		if int(start) >= m.total {
+		if int(start) >= lay.total {
 			return nil, 0, fmt.Errorf("%w: %d", ErrBadFrame, start)
 		}
-		si := int(start >> m.shift)
-		sh := &m.shards[si]
+		si := int(start >> lay.shift)
+		sh := &lay.shards[si]
 		mask |= 1 << si
 		end := start + 1
 		lim := sh.lo + MFN(sh.size)
@@ -284,15 +339,15 @@ func (m *Memory) segmentsMFNs(mfns []MFN, segs []segment) ([]segment, uint32, er
 
 // segmentsPTEs is segmentsMFNs over the frames referenced by a run of
 // page-table entries, so the clone hot path never materializes an MFN list.
-func (m *Memory) segmentsPTEs(ptes []pte, segs []segment) ([]segment, uint32, error) {
+func (lay *layout) segmentsPTEs(ptes []pte, segs []segment) ([]segment, uint32, error) {
 	var mask uint32
 	for lo := 0; lo < len(ptes); {
 		start := ptes[lo].mfn
-		if int(start) >= m.total {
+		if int(start) >= lay.total {
 			return nil, 0, fmt.Errorf("%w: %d", ErrBadFrame, start)
 		}
-		si := int(start >> m.shift)
-		sh := &m.shards[si]
+		si := int(start >> lay.shift)
+		sh := &lay.shards[si]
 		mask |= 1 << si
 		end := start + 1
 		lim := sh.lo + MFN(sh.size)
@@ -310,20 +365,20 @@ func (m *Memory) segmentsPTEs(ptes []pte, segs []segment) ([]segment, uint32, er
 // segmentsSkipBad is segmentsMFNs under ReleaseN's skip-and-record rules:
 // out-of-range MFNs are dropped from the segments and the first such error
 // is returned alongside them instead of failing the call.
-func (m *Memory) segmentsSkipBad(mfns []MFN, segs []segment) ([]segment, uint32, error) {
+func (lay *layout) segmentsSkipBad(mfns []MFN, segs []segment) ([]segment, uint32, error) {
 	var mask uint32
 	var firstErr error
 	for lo := 0; lo < len(mfns); {
 		start := mfns[lo]
-		if int(start) >= m.total {
+		if int(start) >= lay.total {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: %d", ErrBadFrame, start)
 			}
 			lo++
 			continue
 		}
-		si := int(start >> m.shift)
-		sh := &m.shards[si]
+		si := int(start >> lay.shift)
+		sh := &lay.shards[si]
 		mask |= 1 << si
 		end := start + 1
 		lim := sh.lo + MFN(sh.size)
@@ -341,17 +396,17 @@ func (m *Memory) segmentsSkipBad(mfns []MFN, segs []segment) ([]segment, uint32,
 // maskOf computes the set of shards a frame run touches as a bitmask.
 // Out-of-range MFNs are skipped (the caller's per-frame validation reports
 // them); the mask only drives locking.
-func (m *Memory) maskOf(n int, mfnAt func(int) MFN) uint32 {
+func (lay *layout) maskOf(n int, mfnAt func(int) MFN) uint32 {
 	var mask uint32
 	for i := 0; i < n; i++ {
-		if mfn := mfnAt(i); int(mfn) < m.total {
-			mask |= 1 << m.shardIdx(mfn)
+		if mfn := mfnAt(i); int(mfn) < lay.total {
+			mask |= 1 << lay.shardIdx(mfn)
 		}
 	}
 	return mask
 }
 
-// lockMask locks the shards in mask in ascending index order — the single
+// lockMask locks lay's shards in mask in ascending index order — the single
 // pool-wide lock order that rules out lock-order inversion between
 // Snapshot, ReleaseN and every other multi-shard operation. It is the one
 // designated multi-shard acquisition point: everything else must lock one
@@ -360,29 +415,73 @@ func (m *Memory) maskOf(n int, mfnAt func(int) MFN) uint32 {
 // acquisition order is ascending by construction.
 //
 //nephele:lockorder-helper — set bits are walked low to high, so
-func (m *Memory) lockMask(mask uint32) {
+func (m *Memory) lockMask(lay *layout, mask uint32) {
 	if mm := m.metrics.Load(); mm != nil {
 		start := time.Now() //nephele:nondeterministic-ok — lock-wait wall time is a diagnostic metric, never used for ordering
 		for w := mask; w != 0; w &= w - 1 {
-			m.shards[bits.TrailingZeros32(w)].mu.Lock()
+			lay.shards[bits.TrailingZeros32(w)].mu.Lock()
 		}
 		mm.lockWaitNS.Add(int64(time.Since(start))) //nephele:nondeterministic-ok — lock-wait wall time is a diagnostic metric, never used for ordering
 		mm.lockAcquisitions.Add(int64(bits.OnesCount32(mask)))
 		return
 	}
 	for w := mask; w != 0; w &= w - 1 {
-		m.shards[bits.TrailingZeros32(w)].mu.Lock()
+		lay.shards[bits.TrailingZeros32(w)].mu.Lock()
 	}
 }
 
-func (m *Memory) unlockMask(mask uint32) {
+func (m *Memory) unlockMask(lay *layout, mask uint32) {
 	for w := mask; w != 0; w &= w - 1 {
-		m.shards[bits.TrailingZeros32(w)].mu.Unlock()
+		lay.shards[bits.TrailingZeros32(w)].mu.Unlock()
 	}
 }
 
-// allMask covers every shard.
-func (m *Memory) allMask() uint32 { return uint32(1)<<len(m.shards) - 1 }
+// lockLayout locks mask's shards in lay and confirms lay is still the
+// pool's published layout. On failure — a Restride won the race between
+// the caller's pin and its lock acquisition — the locks are dropped and
+// the caller must re-pin and re-derive its segments. Restride swaps the
+// layout only while holding every old shard lock, so a true return
+// guarantees the locked shards are current for as long as they stay held.
+//
+//nephele:lockorder-helper — delegates to lockMask, ascending by construction.
+func (m *Memory) lockLayout(lay *layout, mask uint32) bool {
+	m.lockMask(lay, mask)
+	if m.lay.Load() == lay {
+		return true
+	}
+	m.unlockMask(lay, mask)
+	return false
+}
+
+// lockShard pins the current layout and locks the single shard covering
+// mfn, retrying when a concurrent Restride swapped the layout between the
+// pin and the acquisition.
+//
+//nephele:lockorder-helper — single-shard acquisition, nothing to order.
+func (m *Memory) lockShard(mfn MFN) (*layout, *shard, error) {
+	for {
+		lay := m.lay.Load()
+		sh, err := lay.shardChecked(mfn)
+		if err != nil {
+			return nil, nil, err
+		}
+		sh.mu.Lock()
+		if m.lay.Load() == lay {
+			return lay, sh, nil
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// allMask covers every shard. Defined for any count up to MaxShards = 32:
+// a 32-shard layout shifts the one past the word and the wraparound yields
+// all-ones.
+func (lay *layout) allMask() uint32 {
+	if len(lay.shards) >= 32 {
+		return ^uint32(0)
+	}
+	return uint32(1)<<len(lay.shards) - 1
+}
 
 // beginAccount / endAccount bracket mutations of the per-shard atomic
 // counters so aggregate readers retry instead of summing mid-update.
@@ -393,26 +492,33 @@ func (m *Memory) endAccount()   { m.accSeq.Add(1) }
 
 // sumCounters aggregates one per-shard atomic across all shards under the
 // seqlock read path, falling back to locking every shard if writers never
-// leave a quiescent window.
+// leave a quiescent window. The layout pin participates in the seqlock
+// check: a sum taken over a superseded layout is discarded and retried,
+// since the new generation's counters are the live ones.
 func (m *Memory) sumCounters(read func(*shard) int64) int {
 	for tries := 0; tries < 64; tries++ {
+		lay := m.lay.Load()
 		s1 := m.accSeq.Load()
 		var sum int64
-		for i := range m.shards {
-			sum += read(&m.shards[i])
+		for i := range lay.shards {
+			sum += read(&lay.shards[i])
 		}
-		if m.accSeq.Load() == s1 {
+		if m.accSeq.Load() == s1 && m.lay.Load() == lay {
 			return int(sum)
 		}
 	}
-	mask := m.allMask()
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
-	var sum int64
-	for i := range m.shards {
-		sum += read(&m.shards[i])
+	for {
+		lay := m.lay.Load()
+		if !m.lockLayout(lay, lay.allMask()) {
+			continue
+		}
+		var sum int64
+		for i := range lay.shards {
+			sum += read(&lay.shards[i])
+		}
+		m.unlockMask(lay, lay.allMask())
+		return int(sum)
 	}
-	return int(sum)
 }
 
 // TotalFrames reports the machine memory size in frames.
@@ -433,20 +539,52 @@ func (m *Memory) SharedFrames() int {
 // lock; a frame's accounting lives wholly in its shard, so the sum is a
 // consistent point-in-time value per shard.
 func (m *Memory) UsedBy(dom DomID) int {
-	used := 0
-	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.Lock()
-		used += sh.usedByDom[dom]
-		sh.mu.Unlock()
+	for {
+		lay := m.lay.Load()
+		used := 0
+		stale := false
+		for i := range lay.shards {
+			sh := &lay.shards[i]
+			sh.mu.Lock()
+			if m.lay.Load() != lay {
+				sh.mu.Unlock()
+				stale = true
+				break
+			}
+			used += sh.usedByDom[dom]
+			sh.mu.Unlock()
+		}
+		if !stale {
+			return used
+		}
 	}
-	return used
 }
+
+// homeShardMul is the 64-bit golden-ratio multiplier (2^64 / φ) of
+// Fibonacci hashing. Its top bits mix even sequential inputs well, which
+// is exactly what domain IDs are: hv hands them out consecutively, and the
+// previous dom % nshards mapping marched whole CloneMany batches across
+// neighbouring shards in lockstep.
+const homeShardMul = 0x9E3779B97F4A7C15
 
 // homeShard is the shard a domain's allocations start from. Spreading
 // domains across shards is what keeps concurrent clones of different
 // parents off each other's locks.
-func (m *Memory) homeShard(dom DomID) int { return int(dom) % len(m.shards) }
+//
+// The mapping takes the top log2(nshards) bits of the mixed ID, which
+// makes it stride-stable: doubling the shard count refines every domain's
+// home (old home == new home >> 1, a sub-range of the old MFN range)
+// instead of re-dealing it, so a re-stride keeps domains next to the
+// frames they already allocated.
+func (lay *layout) homeShard(dom DomID) int {
+	return int((uint64(dom) * homeShardMul) >> (64 - uint(bits.Len(uint(len(lay.shards)-1)))))
+}
+
+// HomeShard reports the shard index dom's allocations currently start
+// from. The value is advisory — it describes the published layout at the
+// time of the call — and is what the batch-clone scheduler uses to predict
+// where a child's metadata frames will land.
+func (m *Memory) HomeShard(dom DomID) int { return m.lay.Load().homeShard(dom) }
 
 // initFrameLocked hands a frame of sh out to dom; sh must be locked and
 // sh.frames must already cover mfn.
@@ -535,20 +673,33 @@ func (m *Memory) Alloc(dom DomID, meter *vclock.Meter) (MFN, error) {
 }
 
 // allocOne takes one frame from the first shard that has one, starting at
-// dom's home shard. Shards are locked one at a time, never nested.
+// dom's home shard. Shards are locked one at a time, never nested; a
+// re-stride mid-scan restarts the scan against the new layout (any frame
+// already taken stays taken — MFNs survive re-strides).
 func (m *Memory) allocOne(dom DomID) (MFN, error) {
-	home := m.homeShard(dom)
 	var out []MFN
-	for k := 0; k < len(m.shards); k++ {
-		sh := &m.shards[(home+k)%len(m.shards)]
-		sh.mu.Lock()
-		took := sh.takeLocked(m, dom, 1, &out)
-		sh.mu.Unlock()
-		if took == 1 {
-			return out[0], nil
+	for {
+		lay := m.lay.Load()
+		home := lay.homeShard(dom)
+		stale := false
+		for k := 0; k < len(lay.shards); k++ {
+			sh := &lay.shards[(home+k)%len(lay.shards)]
+			sh.mu.Lock()
+			if m.lay.Load() != lay {
+				sh.mu.Unlock()
+				stale = true
+				break
+			}
+			took := sh.takeLocked(m, dom, 1, &out)
+			sh.mu.Unlock()
+			if took == 1 {
+				return out[0], nil
+			}
+		}
+		if !stale {
+			return 0, ErrOutOfMemory
 		}
 	}
-	return 0, ErrOutOfMemory
 }
 
 // AllocN allocates n frames for dom, locking each shard it draws from once
@@ -560,16 +711,28 @@ func (m *Memory) AllocN(dom DomID, n int, meter *vclock.Meter) ([]MFN, error) {
 		return nil, nil
 	}
 	out := make([]MFN, 0, n)
-	home := m.homeShard(dom)
-	for k := 0; k < len(m.shards) && len(out) < n; k++ {
-		sh := &m.shards[(home+k)%len(m.shards)]
-		sh.mu.Lock()
-		sh.takeLocked(m, dom, n-len(out), &out)
-		sh.mu.Unlock()
-	}
-	if len(out) < n {
-		m.ReleaseN(dom, out)
-		return nil, fmt.Errorf("%w: want %d frames, %d free", ErrOutOfMemory, n, m.FreeFrames())
+	for {
+		lay := m.lay.Load()
+		home := lay.homeShard(dom)
+		stale := false
+		for k := 0; k < len(lay.shards) && len(out) < n; k++ {
+			sh := &lay.shards[(home+k)%len(lay.shards)]
+			sh.mu.Lock()
+			if m.lay.Load() != lay {
+				sh.mu.Unlock()
+				stale = true
+				break
+			}
+			sh.takeLocked(m, dom, n-len(out), &out)
+			sh.mu.Unlock()
+		}
+		if len(out) >= n {
+			break
+		}
+		if !stale {
+			m.ReleaseN(dom, out)
+			return nil, fmt.Errorf("%w: want %d frames, %d free", ErrOutOfMemory, n, m.FreeFrames())
+		}
 	}
 	if meter != nil {
 		meter.Charge(meter.Costs().PageAlloc, n)
@@ -580,13 +743,12 @@ func (m *Memory) AllocN(dom DomID, n int, meter *vclock.Meter) ([]MFN, error) {
 // Free releases a frame owned by dom. Frames owned by dom_cow must be
 // released by dropping sharer references (DropShared) instead.
 func (m *Memory) Free(dom DomID, mfn MFN) error {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return err
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -626,13 +788,12 @@ func (sh *shard) zombifyLocked(m *Memory, f *frame, dom DomID) {
 
 // Owner reports the owner of a frame.
 func (m *Memory) Owner(mfn MFN) (DomID, error) {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return DomIDInvalid, err
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		return DomIDInvalid, err
 	}
@@ -641,13 +802,12 @@ func (m *Memory) Owner(mfn MFN) (DomID, error) {
 
 // Refcount reports the sharer count of a frame.
 func (m *Memory) Refcount(mfn MFN) (int, error) {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return 0, err
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		return 0, err
 	}
@@ -662,13 +822,12 @@ func (m *Memory) Share(dom DomID, mfn MFN, refs int, meter *vclock.Meter) error 
 	if refs < 1 {
 		return fmt.Errorf("mem: share with %d refs", refs)
 	}
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return err
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -701,11 +860,17 @@ func (m *Memory) Share(dom DomID, mfn MFN, refs int, meter *vclock.Meter) error 
 // mutation, so a failed call leaves the pool untouched.
 func (m *Memory) ShareN(dom DomID, mfns []MFN, refs int, meter *vclock.Meter) error {
 	var buf [segStack]segment
-	segs, mask, err := m.segmentsMFNs(mfns, buf[:0])
-	if err != nil {
-		return err
+	for {
+		lay := m.lay.Load()
+		segs, mask, err := lay.segmentsMFNs(mfns, buf[:0])
+		if err != nil {
+			return err
+		}
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.shareSegs(lay, dom, segs, mask, refs, meter)
 	}
-	return m.shareSegs(dom, segs, mask, refs, meter)
 }
 
 // sharePTEs is ShareN over the frames referenced by a run of page-table
@@ -713,19 +878,26 @@ func (m *Memory) ShareN(dom DomID, mfns []MFN, refs int, meter *vclock.Meter) er
 // it only shares.
 func (m *Memory) sharePTEs(dom DomID, ptes []pte, refs int, meter *vclock.Meter) error {
 	var buf [segStack]segment
-	segs, mask, err := m.segmentsPTEs(ptes, buf[:0])
-	if err != nil {
-		return err
+	for {
+		lay := m.lay.Load()
+		segs, mask, err := lay.segmentsPTEs(ptes, buf[:0])
+		if err != nil {
+			return err
+		}
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.shareSegs(lay, dom, segs, mask, refs, meter)
 	}
-	return m.shareSegs(dom, segs, mask, refs, meter)
 }
 
-func (m *Memory) shareSegs(dom DomID, segs []segment, mask uint32, refs int, meter *vclock.Meter) error {
+// shareSegs applies ShareN's fused validate+mutate pass. The caller has
+// locked mask's shards under a validated pin of lay; shareSegs unlocks.
+func (m *Memory) shareSegs(lay *layout, dom DomID, segs []segment, mask uint32, refs int, meter *vclock.Meter) error {
+	defer m.unlockMask(lay, mask)
 	if refs < 1 {
 		return fmt.Errorf("mem: share with %d refs", refs)
 	}
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
 	transfers := 0
 	for _, sg := range segs {
 		fr, short := sg.frames()
@@ -765,9 +937,9 @@ func (m *Memory) shareSegs(dom DomID, segs []segment, mask uint32, refs int, met
 		// Every transferred frame was validated as owned by dom, so the
 		// per-owner accounting moves per shard instead of per frame.
 		m.beginAccount()
-		for si := range m.shards {
+		for si := range lay.shards {
 			if c := perShard[si]; c > 0 {
-				sh := &m.shards[si]
+				sh := &lay.shards[si]
 				sh.dropUsageLocked(dom, c)
 				sh.usedByDom[DomIDCOW] += c
 				sh.shared.Add(int64(c))
@@ -784,12 +956,7 @@ func (m *Memory) shareSegs(dom DomID, segs []segment, mask uint32, refs int, met
 // AddSharer increments the reference count of an already-shared frame
 // (used when a clone becomes the parent of further clones).
 func (m *Memory) AddSharer(mfn MFN, n int) error {
-	var buf [1]segment
-	segs, mask, err := m.segmentsMFNs([]MFN{mfn}, buf[:0])
-	if err != nil {
-		return err
-	}
-	return m.addSharerSegs(segs, mask, n)
+	return m.AddSharerN([]MFN{mfn}, n)
 }
 
 // AddSharerN increments the reference count of a run of already-shared
@@ -798,11 +965,17 @@ func (m *Memory) AddSharer(mfn MFN, n int) error {
 // re-cloning an already-COW parent is nothing but sharer bumps.
 func (m *Memory) AddSharerN(mfns []MFN, n int) error {
 	var buf [segStack]segment
-	segs, mask, err := m.segmentsMFNs(mfns, buf[:0])
-	if err != nil {
-		return err
+	for {
+		lay := m.lay.Load()
+		segs, mask, err := lay.segmentsMFNs(mfns, buf[:0])
+		if err != nil {
+			return err
+		}
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.addSharerSegs(lay, segs, mask, n)
 	}
-	return m.addSharerSegs(segs, mask, n)
 }
 
 // addSharerPTEs is AddSharerN over the frames referenced by a run of
@@ -810,21 +983,27 @@ func (m *Memory) AddSharerN(mfns []MFN, n int) error {
 // parent's table).
 func (m *Memory) addSharerPTEs(ptes []pte, n int) error {
 	var buf [segStack]segment
-	segs, mask, err := m.segmentsPTEs(ptes, buf[:0])
-	if err != nil {
-		return err
+	for {
+		lay := m.lay.Load()
+		segs, mask, err := lay.segmentsPTEs(ptes, buf[:0])
+		if err != nil {
+			return err
+		}
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.addSharerSegs(lay, segs, mask, n)
 	}
-	return m.addSharerSegs(segs, mask, n)
 }
 
 // addSharerSegs bumps sharer counts in a single fused validate+mutate pass;
 // on a validation failure every bump applied so far is subtracted back, so
 // a failed call still leaves the pool untouched (the increment is its own
 // exact inverse, which is what makes the fusion safe). One pass instead of
-// two matters: this is the entire cost of a 2nd..Nth clone.
-func (m *Memory) addSharerSegs(segs []segment, mask uint32, n int) error {
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
+// two matters: this is the entire cost of a 2nd..Nth clone. The caller has
+// locked mask's shards under a validated pin of lay; addSharerSegs unlocks.
+func (m *Memory) addSharerSegs(lay *layout, segs []segment, mask uint32, n int) error {
+	defer m.unlockMask(lay, mask)
 	undo := func(done int, sg segment, j int) {
 		for _, dsg := range segs[:done] {
 			fr, _ := dsg.frames()
@@ -866,12 +1045,11 @@ func (m *Memory) addSharerSegs(segs []segment, mask uint32, n int) error {
 // faulting domain — which may differ from the original owner (§5.2) — with
 // no copy. Returns the MFN the domain should map afterwards.
 func (m *Memory) CopyOnWrite(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, error) {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return 0, err
 	}
-	sh.mu.Lock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		sh.mu.Unlock()
 		return 0, err
@@ -901,40 +1079,45 @@ func (m *Memory) CopyOnWrite(dom DomID, mfn MFN, meter *vclock.Meter) (MFN, erro
 	if meter != nil {
 		meter.Charge(meter.Costs().PageAlloc, 1)
 	}
-	mask := uint32(1<<m.shardIdx(mfn)) | 1<<m.shardIdx(newMFN)
-	m.lockMask(mask)
-	f, err = m.frameAt(mfn)
-	if err == nil && f.owner != DomIDCOW {
-		err = fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
-	}
-	if err != nil {
-		m.unlockMask(mask)
-		m.releaseOne(dom, newMFN)
-		return 0, err
-	}
-	if f.refcount == 1 && f.pledges == 0 {
-		// Raced with the other sharers dropping out between the unlock and
-		// the relock: transfer ownership as the last sharer and return the
-		// speculative frame.
-		m.transferLastSharerLocked(&m.shards[m.shardIdx(mfn)], f, dom)
-		m.unlockMask(mask)
-		m.releaseOne(dom, newMFN)
+	for {
+		lay := m.lay.Load()
+		mask := uint32(1<<lay.shardIdx(mfn)) | 1<<lay.shardIdx(newMFN)
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		f, err = lay.frameAt(mfn)
+		if err == nil && f.owner != DomIDCOW {
+			err = fmt.Errorf("%w: frame %d owned by %d", ErrNotShared, mfn, f.owner)
+		}
+		if err != nil {
+			m.unlockMask(lay, mask)
+			m.releaseOne(dom, newMFN)
+			return 0, err
+		}
+		if f.refcount == 1 && f.pledges == 0 {
+			// Raced with the other sharers dropping out between the unlock
+			// and the relock: transfer ownership as the last sharer and
+			// return the speculative frame.
+			m.transferLastSharerLocked(&lay.shards[lay.shardIdx(mfn)], f, dom)
+			m.unlockMask(lay, mask)
+			m.releaseOne(dom, newMFN)
+			if meter != nil {
+				meter.Charge(meter.Costs().PageUnshare, 1)
+			}
+			return mfn, nil
+		}
+		nf, _ := lay.frameAt(newMFN)
+		if f.data != nil {
+			nf.data = make([]byte, PageSize)
+			copy(nf.data, f.data)
+		}
+		f.refcount--
+		m.unlockMask(lay, mask)
 		if meter != nil {
 			meter.Charge(meter.Costs().PageUnshare, 1)
 		}
-		return mfn, nil
+		return newMFN, nil
 	}
-	nf, _ := m.frameAt(newMFN)
-	if f.data != nil {
-		nf.data = make([]byte, PageSize)
-		copy(nf.data, f.data)
-	}
-	f.refcount--
-	m.unlockMask(mask)
-	if meter != nil {
-		meter.Charge(meter.Costs().PageUnshare, 1)
-	}
-	return newMFN, nil
 }
 
 // transferLastSharerLocked moves a dom_cow frame whose last sharer is dom
@@ -951,13 +1134,12 @@ func (m *Memory) transferLastSharerLocked(sh *shard, f *frame, dom DomID) {
 // releaseOne frees a frame owned by dom, ignoring errors (speculative
 // allocation unwind).
 func (m *Memory) releaseOne(dom DomID, mfn MFN) {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil || f.owner != dom {
 		return
 	}
@@ -972,13 +1154,12 @@ func (m *Memory) releaseOne(dom DomID, mfn MFN) {
 // copying (domain teardown). When the last reference drops, the frame is
 // freed.
 func (m *Memory) DropShared(mfn MFN) error {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return err
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -1005,8 +1186,14 @@ func (m *Memory) DropShared(mfn MFN) error {
 // returned after the whole run is processed.
 func (m *Memory) ReleaseN(dom DomID, mfns []MFN) error {
 	var buf [segStack]segment
-	segs, mask, firstErr := m.segmentsSkipBad(mfns, buf[:0])
-	return m.releaseSegs(dom, segs, mask, firstErr)
+	for {
+		lay := m.lay.Load()
+		segs, mask, firstErr := lay.segmentsSkipBad(mfns, buf[:0])
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		return m.releaseSegs(lay, dom, segs, mask, firstErr)
+	}
 }
 
 // releasePTEs is ReleaseN over the frames referenced by the present entries
@@ -1015,41 +1202,49 @@ func (m *Memory) ReleaseN(dom DomID, mfns []MFN) error {
 // torn-down mapping has nothing to release).
 func (m *Memory) releasePTEs(dom DomID, ptes []pte) error {
 	var buf [segStack]segment
-	var mask uint32
-	var firstErr error
-	segs := buf[:0]
-	for lo := 0; lo < len(ptes); {
-		if !ptes[lo].present {
-			lo++
-			continue
-		}
-		start := ptes[lo].mfn
-		if int(start) >= m.total {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: %d", ErrBadFrame, start)
+	for {
+		lay := m.lay.Load()
+		var mask uint32
+		var firstErr error
+		segs := buf[:0]
+		for lo := 0; lo < len(ptes); {
+			if !ptes[lo].present {
+				lo++
+				continue
 			}
-			lo++
+			start := ptes[lo].mfn
+			if int(start) >= lay.total {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %d", ErrBadFrame, start)
+				}
+				lo++
+				continue
+			}
+			si := int(start >> lay.shift)
+			sh := &lay.shards[si]
+			mask |= 1 << si
+			end := start + 1
+			lim := sh.lo + MFN(sh.size)
+			hi := lo + 1
+			for hi < len(ptes) && end < lim && ptes[hi].present && ptes[hi].mfn == end {
+				hi++
+				end++
+			}
+			segs = append(segs, segment{sh: sh, si: si, a: int(start - sh.lo), b: int(end - sh.lo)})
+			lo = hi
+		}
+		if !m.lockLayout(lay, mask) {
 			continue
 		}
-		si := int(start >> m.shift)
-		sh := &m.shards[si]
-		mask |= 1 << si
-		end := start + 1
-		lim := sh.lo + MFN(sh.size)
-		hi := lo + 1
-		for hi < len(ptes) && end < lim && ptes[hi].present && ptes[hi].mfn == end {
-			hi++
-			end++
-		}
-		segs = append(segs, segment{sh: sh, si: si, a: int(start - sh.lo), b: int(end - sh.lo)})
-		lo = hi
+		return m.releaseSegs(lay, dom, segs, mask, firstErr)
 	}
-	return m.releaseSegs(dom, segs, mask, firstErr)
 }
 
-func (m *Memory) releaseSegs(dom DomID, segs []segment, mask uint32, firstErr error) error {
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
+// releaseSegs applies the domain-teardown rules over locked segments. The
+// caller has locked mask's shards under a validated pin of lay;
+// releaseSegs unlocks.
+func (m *Memory) releaseSegs(lay *layout, dom DomID, segs []segment, mask uint32, firstErr error) error {
+	defer m.unlockMask(lay, mask)
 	var ownFreed, cowFreed, zombied [MaxShards]int
 	for _, sg := range segs {
 		sh := sg.sh
@@ -1087,8 +1282,8 @@ func (m *Memory) releaseSegs(dom DomID, segs []segment, mask uint32, firstErr er
 		}
 	}
 	m.beginAccount()
-	for si := range m.shards {
-		sh := &m.shards[si]
+	for si := range lay.shards {
+		sh := &lay.shards[si]
 		if c := ownFreed[si]; c > 0 {
 			sh.dropUsageLocked(dom, c)
 			sh.free.Add(int64(c))
@@ -1111,13 +1306,12 @@ func (m *Memory) releaseSegs(dom DomID, segs []segment, mask uint32, firstErr er
 // Read copies the contents at (mfn, off) into buf. Reading a never-written
 // frame yields zeroes.
 func (m *Memory) Read(mfn MFN, off int, buf []byte) error {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return err
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -1137,13 +1331,12 @@ func (m *Memory) Read(mfn MFN, off int, buf []byte) error {
 // Write stores buf at (mfn, off). Write does not check ownership or
 // sharing; address spaces enforce COW before calling it.
 func (m *Memory) Write(mfn MFN, off int, buf []byte) error {
-	sh, err := m.shardChecked(mfn)
+	lay, sh, err := m.lockShard(mfn)
 	if err != nil {
 		return err
 	}
-	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := m.frameAt(mfn)
+	f, err := lay.frameAt(mfn)
 	if err != nil {
 		return err
 	}
@@ -1171,28 +1364,39 @@ func (m *Memory) CopyFrameN(dst, src []MFN, meter *vclock.Meter) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("mem: CopyFrameN with %d dst, %d src frames", len(dst), len(src))
 	}
-	mask := m.maskOf(len(dst), func(i int) MFN { return dst[i] }) |
-		m.maskOf(len(src), func(i int) MFN { return src[i] })
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
-	for i := range dst {
-		if err := m.copyFrameLocked(dst[i], src[i]); err != nil {
+	for {
+		lay := m.lay.Load()
+		mask := lay.maskOf(len(dst), func(i int) MFN { return dst[i] }) |
+			lay.maskOf(len(src), func(i int) MFN { return src[i] })
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		err := func() error {
+			defer m.unlockMask(lay, mask)
+			for i := range dst {
+				if err := lay.copyFrameLocked(dst[i], src[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
 			return err
 		}
+		if meter != nil && len(dst) > 0 {
+			meter.Charge(meter.Costs().PageCopy, len(dst))
+		}
+		return nil
 	}
-	if meter != nil && len(dst) > 0 {
-		meter.Charge(meter.Costs().PageCopy, len(dst))
-	}
-	return nil
 }
 
 // copyFrameLocked copies src into dst; the shards of both must be locked.
-func (m *Memory) copyFrameLocked(dst, src MFN) error {
-	fs, err := m.frameAt(src)
+func (lay *layout) copyFrameLocked(dst, src MFN) error {
+	fs, err := lay.frameAt(src)
 	if err != nil {
 		return err
 	}
-	fd, err := m.frameAt(dst)
+	fd, err := lay.frameAt(dst)
 	if err != nil {
 		return err
 	}
@@ -1214,18 +1418,29 @@ func (m *Memory) copyFrameLocked(dst, src MFN) error {
 // shards keep allocating — and a concurrent ReleaseN on the same shards
 // orders strictly before or after the whole snapshot.
 func (m *Memory) SnapshotFrames(mfns []MFN) ([][]byte, error) {
-	mask := m.maskOf(len(mfns), func(i int) MFN { return mfns[i] })
-	m.lockMask(mask)
-	defer m.unlockMask(mask)
-	out := make([][]byte, len(mfns))
-	for i, mfn := range mfns {
-		f, err := m.frameAt(mfn)
+	for {
+		lay := m.lay.Load()
+		mask := lay.maskOf(len(mfns), func(i int) MFN { return mfns[i] })
+		if !m.lockLayout(lay, mask) {
+			continue
+		}
+		out := make([][]byte, len(mfns))
+		err := func() error {
+			defer m.unlockMask(lay, mask)
+			for i, mfn := range mfns {
+				f, err := lay.frameAt(mfn)
+				if err != nil {
+					return err
+				}
+				if f.data != nil {
+					out[i] = append([]byte(nil), f.data...)
+				}
+			}
+			return nil
+		}()
 		if err != nil {
 			return nil, err
 		}
-		if f.data != nil {
-			out[i] = append([]byte(nil), f.data...)
-		}
+		return out, nil
 	}
-	return out, nil
 }

@@ -11,9 +11,9 @@ import (
 func shardedPool(t *testing.T) *Memory {
 	t.Helper()
 	m := New(65536 * PageSize)
-	if len(m.shards) != 16 || m.stride != 4096 {
+	if m.Shards() != 16 || m.Stride() != 4096 {
 		t.Fatalf("pool layout changed: %d shards, stride %d (test assumes 16×4096)",
-			len(m.shards), m.stride)
+			m.Shards(), m.Stride())
 	}
 	return m
 }
@@ -58,8 +58,8 @@ func TestShardBoundaryRuns(t *testing.T) {
 			mfns := run(tc.start, tc.n)
 
 			// The run must actually cross the edges the case claims.
-			firstSh := int(mfns[0] >> m.shift)
-			lastSh := int(mfns[len(mfns)-1] >> m.shift)
+			firstSh := int(mfns[0]) / m.Stride()
+			lastSh := int(mfns[len(mfns)-1]) / m.Stride()
 			if got := lastSh - firstSh; got != tc.edges {
 				t.Fatalf("run crosses %d edges, case expects %d", got, tc.edges)
 			}
