@@ -19,6 +19,7 @@ import (
 	"nephele/internal/guest"
 	"nephele/internal/hv"
 	"nephele/internal/kvm"
+	"nephele/internal/mem"
 	"nephele/internal/netsim"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
@@ -467,5 +468,116 @@ func BenchmarkRedisBGSave(b *testing.B) {
 		}
 		b.ReportMetric(res.ForkTime.Seconds()*1e3, "fork-ms")
 		b.ReportMetric(res.SerializeTime.Seconds()*1e3, "save-ms")
+	}
+}
+
+// cachedRestoreRig boots a template guest of memoryMB with every page
+// dirtied (a warmed-up runtime leaves little of its memory pristine),
+// saves it, and returns the platform plus the image. The pool is sized so
+// the cache, the template image, and one restored child coexist at 256 MB.
+func cachedRestoreRig(b *testing.B, memoryMB int) (*core.Platform, *toolstack.Image) {
+	b.Helper()
+	p := core.NewPlatform(core.Options{
+		HV:            hv.Config{MemoryBytes: 2 << 30, PerDomainOverheadFrames: 16},
+		SkipNameCheck: true,
+	})
+	cfg := toolstack.DomainConfig{
+		Name: "cache-template", MemoryMB: memoryMB, VCPUs: 1, MaxClones: 1 << 20,
+	}
+	rec, err := p.Boot(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dom, err := p.HV.Domain(rec.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := dom.Space()
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for pfn := 0; pfn < cfg.Pages()-3; pfn++ {
+		payload[0] = byte(pfn)
+		if err := sp.Write(mem.PFN(pfn), 0, payload, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	img, err := p.XL.Save(rec.ID, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Destroy(rec.ID, nil); err != nil {
+		b.Fatal(err)
+	}
+	return p, img
+}
+
+// BenchmarkCachedRestore compares the copying restore (cold) with the
+// content-addressed cached restore (warm) of the same 256 MB image, 25%
+// of it dirty. The warm path materializes the child by COW-sharing the
+// cache's resident frames instead of copying pages, so its wall-clock
+// ns/op is the gated warm-restore-speedup metric (benchdiff -warm-min).
+func BenchmarkCachedRestore(b *testing.B) {
+	const memoryMB = 256
+	b.Run("mode=cold", func(b *testing.B) {
+		p, img := cachedRestoreRig(b, memoryMB)
+		b.ResetTimer()
+		var lat vclock.Duration
+		for i := 0; i < b.N; i++ {
+			meter := p.NewMeter()
+			rec, err := p.XL.Restore(img, fmt.Sprintf("cold-%d", i), meter)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat = meter.Elapsed()
+			if err := p.Destroy(rec.ID, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(lat.Seconds()*1e3, "restore-ms")
+	})
+	b.Run("mode=warm", func(b *testing.B) {
+		p, img := cachedRestoreRig(b, memoryMB)
+		store := p.NewImageStore(0)
+		// Populate the cache once; every timed iteration is a hit.
+		if err := store.Insert(img, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var lat vclock.Duration
+		for i := 0; i < b.N; i++ {
+			meter := p.NewMeter()
+			rec, served, err := p.RestoreCached(store, img, fmt.Sprintf("warm-%d", i), meter)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !served {
+				b.Fatal("warm iteration missed the cache")
+			}
+			lat = meter.Elapsed()
+			if err := p.Destroy(rec.ID, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(lat.Seconds()*1e3, "restore-ms")
+	})
+}
+
+// BenchmarkSandboxFleet spawns a 16-sandbox fleet from the snapshot cache
+// (one cold restore, fifteen warm) with per-sandbox disk commit, reporting
+// the warm p50 spawn latency.
+func BenchmarkSandboxFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Sandbox(bench.SandboxConfig{
+			FleetSizes: []int{16}, MemoryMB: 16, DirtyPages: 1024, DirtySectors: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm, _ := fig.SeriesByName("warm-restore-p50-ms")
+		cold, _ := fig.SeriesByName("cold-restore-ms")
+		b.ReportMetric(warm.First().Y, "warm-p50-ms")
+		b.ReportMetric(cold.First().Y, "cold-ms")
 	}
 }

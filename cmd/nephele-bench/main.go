@@ -72,10 +72,11 @@ func main() {
 		"9":  runFig9,
 		"10": runFig10,
 		"11": runFig11,
-		"mp":   runMultiParent,
-		"lazy": runFigLazy,
+		"mp":      runMultiParent,
+		"lazy":    runFigLazy,
+		"sandbox": runSandbox,
 	}
-	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "mp", "lazy"}
+	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "mp", "lazy", "sandbox"}
 
 	var selected []string
 	if *figFlag == "all" {
@@ -83,7 +84,7 @@ func main() {
 	} else if _, ok := runners[*figFlag]; ok {
 		selected = []string{*figFlag}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..11, mp, lazy or all)\n", *figFlag)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..11, mp, lazy, sandbox or all)\n", *figFlag)
 		os.Exit(2)
 	}
 
@@ -228,6 +229,15 @@ func runFigLazy(quick bool) (*bench.Figure, error) {
 	}
 	cfg.Trace = traceSink
 	return bench.FigLazy(cfg)
+}
+
+func runSandbox(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultSandbox()
+	if quick {
+		cfg.FleetSizes = []int{4, 16}
+		cfg.MemoryMB, cfg.DirtyPages = 16, 1024
+	}
+	return bench.Sandbox(cfg)
 }
 
 func runFig7(quick bool) (*bench.Figure, error) {

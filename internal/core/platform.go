@@ -210,6 +210,24 @@ func (p *Platform) Boot(cfg toolstack.DomainConfig, meter *vclock.Meter) (*tools
 	return p.XL.Create(cfg, meter)
 }
 
+// NewImageStore creates a content-addressed snapshot cache over the
+// platform pool, bounded to maxResidentMB (0 = unbounded), with its
+// counters mirrored into the platform metrics registry.
+func (p *Platform) NewImageStore(maxResidentMB int) *toolstack.ImageStore {
+	st := toolstack.NewImageStore(p.HV.Memory, maxResidentMB)
+	st.SetMetrics(p.Metrics())
+	return st
+}
+
+// RestoreCached restores an image through the snapshot cache: a warm image
+// materializes the child by COW-sharing the cache's resident frames, a
+// cold one falls back to the copying restore and populates the cache. The
+// bool result reports whether the cache served the restore. The trace
+// attached with Observe rides along (spans image-hash and restore-cached).
+func (p *Platform) RestoreCached(store *toolstack.ImageStore, img *toolstack.Image, name string, meter *vclock.Meter) (*toolstack.Record, bool, error) {
+	return p.XL.RestoreCachedOp(p.opCtx(meter), store, img, name)
+}
+
 // CloneResult describes one completed clone operation.
 type CloneResult struct {
 	Children []DomID

@@ -91,7 +91,28 @@ const (
 	// quiesced but before the new layout is published; an armed point
 	// aborts the re-stride and the old layout stays in place.
 	PointMemRestride = "mem/restride"
+
+	// Snapshot image cache (the content-addressed restore fast path;
+	// these fire outside the clone pipeline).
+
+	// PointCacheInsert fires after the image store has built a new set of
+	// resident chunks but before it commits them; an armed point rolls
+	// the partially built insert back and the store is unchanged.
+	PointCacheInsert = "toolstack/cache-insert"
+	// PointCacheRestore fires on the cached-restore fast path after the
+	// child domain is created but before any cache frames are adopted;
+	// an armed point destroys the fresh child and the restore fails
+	// cleanly with the cache intact.
+	PointCacheRestore = "toolstack/cache-restore"
 )
+
+// CachePoints lists the fault points of the snapshot image cache. Like
+// LazyPoints they sit outside PipelinePoints: a failure is handled by
+// rolling back the cache mutation (insert) or destroying the fresh child
+// (cached restore), not by the clone pipeline's rollback protocol.
+func CachePoints() []string {
+	return []string{PointCacheInsert, PointCacheRestore}
+}
 
 // FirstStagePoints lists the fault points inside the CLONEOP hypercall:
 // a failure there surfaces as a CloneOpClone error before any notification

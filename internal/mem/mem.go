@@ -37,6 +37,10 @@ const (
 	// DomIDChild is the wildcard used by grant references and event
 	// channels to designate not-yet-existing clone children (§5.1).
 	DomIDChild DomID = 0x7FF1
+	// DomIDCache is the pseudo-domain the toolstack's snapshot image
+	// cache allocates resident chunk frames under; like dom_cow it never
+	// runs, it only owns memory.
+	DomIDCache DomID = 0x7FF3
 	// DomID0 is the host domain.
 	DomID0 DomID = 0
 )

@@ -1,0 +1,91 @@
+package toolstack
+
+import (
+	"encoding/json"
+)
+
+// The image cache keys chunks and images with FNV-1a 64. The hash is
+// computed by hand (not hash/maphash, whose seed changes per process) so
+// keys are stable across runs and across hosts — a serialized image
+// reloaded tomorrow must hit the same cache entry it populated today.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+func fnvUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// hashRun content-hashes one data run: page count plus, per slot, a
+// present marker and the page bytes. A nil slot (a page reading as zeroes)
+// hashes as absent, so the same contents hash identically whether the
+// zero page was scrubbed at save time or never stored.
+func hashRun(pages [][]byte) uint64 {
+	h := fnvUint(fnvOffset64, uint64(len(pages)))
+	for _, data := range pages {
+		if data == nil {
+			h = fnvUint(h, 0)
+			continue
+		}
+		h = fnvUint(h, 1)
+		h = fnvBytes(h, data)
+	}
+	return h
+}
+
+// ensureHashed computes the per-run content hashes and the image cache key
+// once. The key covers the restore-relevant configuration (the name is
+// cleared — a restore renames the domain anyway, and two saves of the same
+// guest under different names are the same image), the on-wire page count,
+// and every run's geometry plus content hash, so any difference in layout
+// or bytes yields a different key.
+func (img *Image) ensureHashed() {
+	img.hashOnce.Do(func() {
+		img.runHashes = make([]uint64, len(img.runs))
+		cfg := img.Config
+		cfg.Name = ""
+		cfgJSON, err := json.Marshal(cfg)
+		h := uint64(fnvOffset64)
+		if err == nil {
+			h = fnvBytes(h, cfgJSON)
+		}
+		h = fnvUint(h, uint64(img.npages))
+		for i := range img.runs {
+			r := &img.runs[i]
+			h = fnvUint(h, uint64(r.start))
+			h = fnvUint(h, uint64(r.count))
+			switch {
+			case r.isAlias:
+				h = fnvUint(h, 1)
+				h = fnvUint(h, uint64(r.alias))
+			case r.pages == nil:
+				h = fnvUint(h, 2)
+			default:
+				h = fnvUint(h, 3)
+				img.runHashes[i] = hashRun(r.pages)
+				h = fnvUint(h, img.runHashes[i])
+			}
+		}
+		img.key = h
+	})
+}
+
+// CacheKey returns the image's deterministic content-addressed identity:
+// equal keys mean equal restore results. The first call hashes the image;
+// later calls are free.
+func (img *Image) CacheKey() uint64 {
+	img.ensureHashed()
+	return img.key
+}

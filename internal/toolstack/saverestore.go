@@ -2,6 +2,8 @@ package toolstack
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"nephele/internal/hv"
 	"nephele/internal/mem"
@@ -20,7 +22,14 @@ import (
 type Image struct {
 	Config DomainConfig
 	npages int // full allocated page count (the on-wire size)
-	runs   []imageRun
+	runs   []imageRun // sorted by start, non-overlapping
+
+	// hashOnce lazily computes the content-addressed identity: one FNV-1a
+	// hash per data run plus the image-wide cache key. Hashing never
+	// mutates runs, so a hashed image stays safe for concurrent readers.
+	hashOnce  sync.Once
+	runHashes []uint64 // parallel to runs; 0 for zero and alias runs
+	key       uint64
 }
 
 // imageRun is one extent of the image: count consecutive pfns from start.
@@ -42,21 +51,74 @@ func (img *Image) Pages() int { return img.npages }
 // Runs reports the number of extents encoding the image.
 func (img *Image) Runs() int { return len(img.runs) }
 
+// runIndexOf binary-searches the sorted runs for the one covering pfn,
+// returning -1 when no run does.
+func (img *Image) runIndexOf(pfn mem.PFN) int {
+	i := sort.Search(len(img.runs), func(k int) bool {
+		r := &img.runs[k]
+		return r.start+mem.PFN(r.count) > pfn
+	})
+	if i == len(img.runs) || pfn < img.runs[i].start {
+		return -1
+	}
+	return i
+}
+
 // pageAt resolves the stored contents of one pfn, following at most one
 // level of alias indirection (aliases always point into fresh runs). nil
 // means the page reads as zeroes.
 func (img *Image) pageAt(pfn mem.PFN) []byte {
-	for _, r := range img.runs {
-		if pfn < r.start || pfn >= r.start+mem.PFN(r.count) {
-			continue
-		}
-		if r.isAlias {
-			return img.pageAt(r.alias + (pfn - r.start))
-		}
-		if r.pages == nil {
+	i := img.runIndexOf(pfn)
+	if i < 0 {
+		return nil
+	}
+	r := &img.runs[i]
+	if r.isAlias {
+		src := r.alias + (pfn - r.start)
+		j := img.runIndexOf(src)
+		if j < 0 {
 			return nil
 		}
-		return r.pages[pfn-r.start]
+		sr := &img.runs[j]
+		if sr.isAlias || sr.pages == nil {
+			return nil
+		}
+		return sr.pages[src-sr.start]
+	}
+	if r.pages == nil {
+		return nil
+	}
+	return r.pages[pfn-r.start]
+}
+
+// forEachAliasPage invokes fn for every stored (non-zero) page of the
+// alias run r, resolving each source run it covers once instead of once
+// per page. off is the page's offset within r; aliases always point into
+// fresh runs, so a nested alias contributes zeroes.
+func (img *Image) forEachAliasPage(r *imageRun, fn func(off int, data []byte) error) error {
+	for off := 0; off < r.count; {
+		src := r.alias + mem.PFN(off)
+		i := img.runIndexOf(src)
+		if i < 0 {
+			off++
+			continue
+		}
+		sr := &img.runs[i]
+		n := int(sr.start) + sr.count - int(src)
+		if rest := r.count - off; n > rest {
+			n = rest
+		}
+		if !sr.isAlias && sr.pages != nil {
+			base := int(src - sr.start)
+			for j := 0; j < n; j++ {
+				if data := sr.pages[base+j]; data != nil {
+					if err := fn(off+j, data); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		off += n
 	}
 	return nil
 }
@@ -120,24 +182,29 @@ func (x *XL) Restore(img *Image, name string, meter *vclock.Meter) (*Record, err
 		x.Destroy(rec.ID, nil)
 		return nil, fmt.Errorf("toolstack: image has %d pages, domain %d", img.npages, space.Pages())
 	}
-	for _, r := range img.runs {
-		if !r.isAlias && r.pages == nil {
-			continue // zero run: a fresh domain's pages already read as zeroes
-		}
-		for j := 0; j < r.count; j++ {
-			pfn := r.start + mem.PFN(j)
-			var data []byte
-			if r.isAlias {
-				data = img.pageAt(r.alias + mem.PFN(j))
-			} else {
-				data = r.pages[j]
+	// Walk the image run by run: zero runs are skipped (a fresh domain's
+	// pages already read as zeroes), data runs stream their stored pages,
+	// and alias runs resolve each covered source run once instead of a
+	// full run-table lookup per page.
+	for ri := range img.runs {
+		r := &img.runs[ri]
+		if r.isAlias {
+			err := img.forEachAliasPage(r, func(off int, data []byte) error {
+				return space.Write(r.start+mem.PFN(off), 0, data, nil)
+			})
+			if err != nil {
+				x.Destroy(rec.ID, nil)
+				return nil, fmt.Errorf("toolstack: restore alias run at %d: %w", r.start, err)
 			}
+			continue
+		}
+		for j, data := range r.pages {
 			if data == nil {
 				continue
 			}
-			if err := space.Write(pfn, 0, data, nil); err != nil {
+			if err := space.Write(r.start+mem.PFN(j), 0, data, nil); err != nil {
 				x.Destroy(rec.ID, nil)
-				return nil, fmt.Errorf("toolstack: restore pfn %d: %w", pfn, err)
+				return nil, fmt.Errorf("toolstack: restore pfn %d: %w", r.start+mem.PFN(j), err)
 			}
 		}
 	}
