@@ -42,6 +42,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags []Diagnostic
+	facts []Fact
 }
 
 // Diagnostic is one finding.
@@ -58,6 +59,20 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Fact is one cross-package observation exported by an analyzer: a
+// key/value pair anchored at a position, accumulated by the multichecker
+// across a whole tree run so module-wide invariants (the fault-point lists
+// covering every literal in the tree, for instance) can be verified after
+// every package has been analyzed. Facts are never suppressed: they are
+// observations, not findings.
+type Fact struct {
+	Analyzer string
+	Package  string
+	Pos      token.Position
+	Key      string
+	Value    string
+}
+
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
@@ -67,10 +82,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ExportFact records a cross-package observation at pos. The pass's
+// package path is stamped on by Run.
+func (p *Pass) ExportFact(pos token.Pos, key, value string) {
+	p.facts = append(p.facts, Fact{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Key:      key,
+		Value:    value,
+	})
+}
+
+// Result is one package's analysis output: surviving findings, waived
+// findings, and the exported cross-package facts.
+type Result struct {
+	Findings   []Diagnostic
+	Suppressed []Diagnostic
+	Facts      []Fact
+}
+
 // Run applies the analyzers to pkg and returns the surviving diagnostics
 // and the ones silenced by escape-hatch comments, both sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic, err error) {
+	res, err := RunAll(pkg, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Findings, res.Suppressed, nil
+}
+
+// RunAll is Run returning the full Result, facts included.
+func RunAll(pkg *Package, analyzers []*Analyzer) (*Result, error) {
 	sup := newSuppressions(pkg)
+	res := &Result{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -80,15 +124,19 @@ func Run(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic
 			TypesInfo: pkg.Info,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 		for _, d := range pass.diags {
 			if a.Suppress != "" && sup.matches(d.Pos, a.Suppress) {
 				d.Suppressed = true
-				suppressed = append(suppressed, d)
+				res.Suppressed = append(res.Suppressed, d)
 				continue
 			}
-			findings = append(findings, d)
+			res.Findings = append(res.Findings, d)
+		}
+		for _, f := range pass.facts {
+			f.Package = pkg.Path
+			res.Facts = append(res.Facts, f)
 		}
 	}
 	byPos := func(s []Diagnostic) func(i, j int) bool {
@@ -103,9 +151,9 @@ func Run(pkg *Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic
 			return s[i].Message < s[j].Message
 		}
 	}
-	sort.Slice(findings, byPos(findings))
-	sort.Slice(suppressed, byPos(suppressed))
-	return findings, suppressed, nil
+	sort.Slice(res.Findings, byPos(res.Findings))
+	sort.Slice(res.Suppressed, byPos(res.Suppressed))
+	return res, nil
 }
 
 // suppressions indexes every comment line of a package so escape-hatch

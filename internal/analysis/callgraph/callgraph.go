@@ -1,0 +1,136 @@
+// Package callgraph builds a package-level static call-graph
+// approximation for the interprocedural nephele analyzers (refleak's
+// helper-call summaries, faultcover's wrapper tracing). It is deliberately
+// modest: edges exist only for direct calls whose callee resolves to a
+// named function or method through go/types (no points-to analysis, no
+// dynamic dispatch through interfaces, no function values) and only
+// callees declared in the same package get nodes — the granularity the
+// passes need, since a cross-package leak surfaces when the *importing*
+// package's own wrapper is analyzed in its own package run.
+//
+// The graph is deterministic: nodes and callee lists are ordered by
+// declaration and call-site source position, so analyzer fixpoints
+// iterate in a stable order and diagnostics stay diff-stable.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Node is one function or method declared in the package.
+type Node struct {
+	// Func is the declared object.
+	Func *types.Func
+	// Decl is the syntax (with body; body-less decls get no node).
+	Decl *ast.FuncDecl
+	// Callees are the same-package functions this one calls directly, in
+	// call-site order, deduplicated.
+	Callees []*Node
+}
+
+// Graph is the package's call graph.
+type Graph struct {
+	// Nodes in declaration order.
+	Nodes []*Node
+	byObj map[*types.Func]*Node
+}
+
+// New builds the graph for one type-checked package.
+func New(pkg *types.Package, info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{byObj: make(map[*types.Func]*Node)}
+	// First pass: one node per function declaration with a body.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Func: obj, Decl: fd}
+			g.Nodes = append(g.Nodes, n)
+			g.byObj[obj] = n
+		}
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		return g.Nodes[i].Decl.Pos() < g.Nodes[j].Decl.Pos()
+	})
+	// Second pass: resolve direct calls. Calls inside function literals
+	// count as calls of the enclosing declaration — a helper invoked from
+	// a closure still runs on some path of the declaring function.
+	for _, n := range g.Nodes {
+		seen := make(map[*Node]bool)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			if cn := g.byObj[callee]; cn != nil && !seen[cn] {
+				seen[cn] = true
+				n.Callees = append(n.Callees, cn)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// NodeOf returns the node for a declared function, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byObj[fn] }
+
+// DeclOf returns the declaration of fn when it has a node in this package.
+func (g *Graph) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if n := g.byObj[fn]; n != nil {
+		return n.Decl
+	}
+	return nil
+}
+
+// StaticCallee resolves the *types.Func a call invokes, when that is
+// statically evident: a plain identifier (`helper(...)`), a selector on a
+// package or value (`pkg.Fn(...)`, `recv.Method(...)`), or a method
+// expression. Returns nil for calls through function-typed values,
+// builtins, and type conversions.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		// Method calls and qualified identifiers both land in
+		// Uses[fun.Sel]; method values/expressions resolve identically
+		// for our purposes.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Fixpoint iterates visit over the graph's nodes until no visit call
+// reports a change, bounding iterations by the node count (summary
+// propagation along call edges converges in ≤ depth rounds; the bound
+// guards recursive cycles). Nodes are visited in declaration order each
+// round so results are deterministic.
+func (g *Graph) Fixpoint(visit func(n *Node) (changed bool)) {
+	for round := 0; round <= len(g.Nodes); round++ {
+		changed := false
+		for _, n := range g.Nodes {
+			if visit(n) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

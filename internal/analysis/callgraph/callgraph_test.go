@@ -1,0 +1,151 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func check(t *testing.T, src string) (*types.Package, *types.Info, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return pkg, info, []*ast.File{f}
+}
+
+const src = `package p
+
+type T struct{}
+
+func (t *T) Release()       {}
+func (t *T) Acquire()       { helper(t) }
+func helper(t *T)           { t.Release() }
+func top(t *T)              { t.Acquire() }
+func viaClosure(t *T)       { f := func() { helper(t) }; f() }
+func viaValue(g func())     { g() }
+func external()             { _ = len("x") }
+`
+
+func names(ns []*Node) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.Func.Name())
+	}
+	return out
+}
+
+func TestDirectEdges(t *testing.T) {
+	pkg, info, files := check(t, src)
+	g := New(pkg, info, files)
+
+	find := func(name string) *Node {
+		t.Helper()
+		for _, n := range g.Nodes {
+			if n.Func.Name() == name {
+				return n
+			}
+		}
+		t.Fatalf("no node %q", name)
+		return nil
+	}
+
+	if got := names(find("top").Callees); len(got) != 1 || got[0] != "Acquire" {
+		t.Fatalf("top callees = %v, want [Acquire]", got)
+	}
+	if got := names(find("Acquire").Callees); len(got) != 1 || got[0] != "helper" {
+		t.Fatalf("Acquire callees = %v, want [helper]", got)
+	}
+	if got := names(find("helper").Callees); len(got) != 1 || got[0] != "Release" {
+		t.Fatalf("helper callees = %v, want [Release]", got)
+	}
+}
+
+func TestClosureCallsAttributeToDeclaringFunc(t *testing.T) {
+	pkg, info, files := check(t, src)
+	g := New(pkg, info, files)
+	for _, n := range g.Nodes {
+		if n.Func.Name() != "viaClosure" {
+			continue
+		}
+		got := names(n.Callees)
+		if len(got) != 1 || got[0] != "helper" {
+			t.Fatalf("viaClosure callees = %v, want [helper]", got)
+		}
+		return
+	}
+	t.Fatal("no viaClosure node")
+}
+
+func TestFunctionValueCallHasNoEdge(t *testing.T) {
+	pkg, info, files := check(t, src)
+	g := New(pkg, info, files)
+	for _, n := range g.Nodes {
+		if n.Func.Name() == "viaValue" && len(n.Callees) != 0 {
+			t.Fatalf("viaValue callees = %v, want none", names(n.Callees))
+		}
+	}
+}
+
+func TestNodeOfAndDeclOf(t *testing.T) {
+	pkg, info, files := check(t, src)
+	g := New(pkg, info, files)
+	for _, n := range g.Nodes {
+		if g.NodeOf(n.Func) != n {
+			t.Fatalf("NodeOf(%s) mismatch", n.Func.Name())
+		}
+		if g.DeclOf(n.Func) != n.Decl {
+			t.Fatalf("DeclOf(%s) mismatch", n.Func.Name())
+		}
+	}
+}
+
+func TestFixpointConverges(t *testing.T) {
+	pkg, info, files := check(t, src)
+	g := New(pkg, info, files)
+	// Propagate a "reaches Release" bit backwards along call edges; the
+	// fixpoint must mark helper, Acquire, top and viaClosure.
+	reaches := make(map[*Node]bool)
+	for _, n := range g.Nodes {
+		if n.Func.Name() == "Release" {
+			reaches[n] = true
+		}
+	}
+	rounds := 0
+	g.Fixpoint(func(n *Node) bool {
+		rounds++
+		if reaches[n] {
+			return false
+		}
+		for _, c := range n.Callees {
+			if reaches[c] {
+				reaches[n] = true
+				return true
+			}
+		}
+		return false
+	})
+	want := map[string]bool{"Release": true, "helper": true, "Acquire": true, "top": true, "viaClosure": true}
+	for _, n := range g.Nodes {
+		if reaches[n] != want[n.Func.Name()] {
+			t.Fatalf("reaches[%s] = %v, want %v", n.Func.Name(), reaches[n], want[n.Func.Name()])
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("fixpoint never visited")
+	}
+}

@@ -1,0 +1,409 @@
+// Package cfg builds an intraprocedural control-flow graph for one Go
+// function body, the shared substrate of the path-sensitive nephele
+// analyzers (refleak, spanend). Like the parent analysis package it is a
+// deliberately small, stdlib-only mirror of the x/tools equivalent
+// (golang.org/x/tools/go/cfg): the subset the nephele passes need —
+// statement-granular blocks, branch conditions kept attached to their
+// block so analyses can be branch-sensitive on `err != nil` checks, defer
+// collection, and deterministic block order — implemented on go/ast alone.
+//
+// Shape:
+//
+//   - A Block holds a run of nodes (statements, plus bare condition/range
+//     expressions where control flow needs them evaluated) that execute
+//     sequentially, followed by an optional branch condition Cond.
+//   - A block with Cond non-nil has exactly two successors: Succs[0] taken
+//     when Cond is true, Succs[1] when false. Blocks without Cond have any
+//     number of successors (0 for the exit, 1 for straight-line code, n
+//     for switch/select dispatch).
+//   - Return statements appear as the final node of their block and the
+//     block's sole successor is the Exit block, so a dataflow pass sees
+//     every function-exit path as an edge into Exit.
+//   - Deferred statements are collected into Defers (they conceptually run
+//     on every path into Exit) and do not otherwise appear in the graph.
+//
+// The builder covers the full statement grammar: if/else chains, for and
+// range loops (with labeled break/continue), switch/type-switch with
+// fallthrough, select, goto/labels, and terminating returns. panic calls
+// are treated as ordinary calls (the analyzers' invariants concern error
+// returns, not crashes).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Block is one straight-line run of nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks; blocks are numbered
+	// in construction order, which is source order for structured code.
+	Index int
+	// Nodes are the statements and control expressions of the block in
+	// execution order.
+	Nodes []ast.Node
+	// Cond, when non-nil, is a boolean branch condition evaluated after
+	// Nodes; Succs[0] is the true edge and Succs[1] the false edge.
+	Cond ast.Expr
+	// Return is set when the block ends in a return statement (also
+	// present as the last node).
+	Return *ast.ReturnStmt
+	// Succs are the successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single virtual exit block (no nodes, no successors);
+	// every return and the fall-off-the-end path lead here.
+	Exit *Block
+	// Defers collects the deferred statements of the body in source
+	// order; they run on every path into Exit.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph for body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: make(map[string]*target)}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	cur := b.g.Entry
+	cur = b.stmts(body.List, cur)
+	b.link(cur, b.g.Exit)
+	return b.g
+}
+
+// target is a pending jump destination (loop continue/break points, goto
+// labels).
+type target struct {
+	brk, cont *Block // break / continue destinations (loops, switch, select)
+	labelTo   *Block // goto destination (start of the labeled statement)
+}
+
+type builder struct {
+	g      *Graph
+	labels map[string]*target
+	// loops is the stack of enclosing breakable/continuable constructs;
+	// the innermost is last. Entries for switch/select have cont == nil.
+	loops []*target
+	// fallthroughTo is the next case clause's body block while building a
+	// switch clause.
+	fallthroughTo *Block
+	// pendingLabel is the label of the LabeledStmt currently being
+	// descended into, consumed by the loop/switch builder so `break L` /
+	// `continue L` resolve.
+	pendingLabel string
+}
+
+// takeLabel consumes the pending label (set by the LabeledStmt case just
+// before descending into the labeled loop or switch).
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts builds list starting in cur and returns the block control falls
+// out of (nil when the list always transfers control elsewhere).
+func (b *builder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// add appends a node to cur, materializing an unreachable block when
+// control already transferred (dead code after return/branch still gets
+// analyzed, matching go/cfg).
+func (b *builder) add(n ast.Node, cur *Block) *Block {
+	if cur == nil {
+		cur = b.newBlock()
+	}
+	cur.Nodes = append(cur.Nodes, n)
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	// A pending label (set by the enclosing LabeledStmt) belongs to this
+	// statement; loops and switches register it for `break L`/`continue L`,
+	// everything else only keeps the goto target already allocated.
+	label := b.takeLabel()
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.ReturnStmt:
+		cur = b.add(s, cur)
+		cur.Return = s
+		b.link(cur, b.g.Exit)
+		return nil
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		return cur
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur.Cond = s.Cond
+		thenB := b.newBlock()
+		elseB := b.newBlock()
+		b.link(cur, thenB)
+		b.link(cur, elseB)
+		thenOut := b.stmts(s.Body.List, thenB)
+		var elseOut *Block
+		if s.Else != nil {
+			elseOut = b.stmt(s.Else, elseB)
+		} else {
+			elseOut = elseB
+		}
+		return b.join(thenOut, elseOut)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock()
+		b.link(cur, head)
+		exit := b.newBlock()
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.Cond = s.Cond
+			b.link(head, body)
+			b.link(head, exit)
+		} else {
+			b.link(head, body)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			b.link(b.stmt(s.Post, post), head)
+		}
+		b.pushLoop(&target{brk: exit, cont: post}, label)
+		out := b.stmts(s.Body.List, body)
+		b.popLoop()
+		b.link(out, post)
+		return exit
+
+	case *ast.RangeStmt:
+		// The range header re-evaluates on every iteration, so it lives
+		// in the loop head; the whole RangeStmt node stands in for the
+		// header so analyses can scan X and the iteration variables.
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s)
+		b.link(cur, head)
+		exit := b.newBlock()
+		body := b.newBlock()
+		b.link(head, body)
+		b.link(head, exit)
+		b.pushLoop(&target{brk: exit, cont: head}, label)
+		out := b.stmts(s.Body.List, body)
+		b.popLoop()
+		b.link(out, head)
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur = b.add(s.Tag, cur)
+		}
+		return b.clauses(s.Body, cur, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur = b.add(s.Assign, cur)
+		return b.clauses(s.Body, cur, label)
+
+	case *ast.SelectStmt:
+		return b.clauses(s.Body, cur, label)
+
+	case *ast.BranchStmt:
+		cur = b.add(s, cur)
+		switch s.Tok.String() {
+		case "break":
+			b.link(cur, b.jump(s.Label, false))
+		case "continue":
+			b.link(cur, b.jump(s.Label, true))
+		case "goto":
+			if s.Label != nil {
+				b.link(cur, b.labelTarget(s.Label.Name))
+			}
+		case "fallthrough":
+			b.link(cur, b.fallthroughTo)
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		// The label's goto target is a fresh block at the labeled
+		// statement's start; break/continue with this label resolve via
+		// the loop stack (labelOf on the inner statement).
+		t := b.labelTargetEntry(s.Label.Name)
+		b.link(cur, t.labelTo)
+		b.pendingLabel = s.Label.Name
+		return b.stmt(s.Stmt, t.labelTo)
+
+	default:
+		// Plain statements: declarations, assignments, expression and
+		// send statements, go statements, inc/dec, empty.
+		return b.add(s, cur)
+	}
+}
+
+// join merges two fallthrough blocks into one successor (nil-tolerant).
+func (b *builder) join(x, y *Block) *Block {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	j := b.newBlock()
+	b.link(x, j)
+	b.link(y, j)
+	return j
+}
+
+// clauses builds a switch/type-switch/select body: cur dispatches to every
+// clause (and past them when no default exists).
+func (b *builder) clauses(body *ast.BlockStmt, cur *Block, label string) *Block {
+	if cur == nil {
+		cur = b.newBlock()
+	}
+	exit := b.newBlock()
+	t := &target{brk: exit}
+	// Pre-create clause body blocks so fallthrough can jump forward.
+	blocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		blocks[i] = b.newBlock()
+		b.link(cur, blocks[i])
+	}
+	hasDefault := false
+	b.pushLoop(t, label)
+	for i, cl := range body.List {
+		var stmts []ast.Stmt
+		head := blocks[i]
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				head.Nodes = append(head.Nodes, e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				head = b.stmt(cl.Comm, head)
+			}
+			stmts = cl.Body
+		}
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = exit
+		}
+		out := b.stmts(stmts, head)
+		b.link(out, exit)
+	}
+	b.fallthroughTo = nil
+	b.popLoop()
+	if !hasDefault {
+		b.link(cur, exit)
+	}
+	return exit
+}
+
+func (b *builder) pushLoop(t *target, label string) {
+	b.loops = append(b.loops, t)
+	if label != "" {
+		lt := b.labelTargetEntry(label)
+		lt.brk, lt.cont = t.brk, t.cont
+	}
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// jump resolves an unlabeled or labeled break/continue destination.
+func (b *builder) jump(label *ast.Ident, isContinue bool) *Block {
+	if label != nil {
+		t := b.labelTargetEntry(label.Name)
+		if isContinue {
+			return t.cont
+		}
+		return t.brk
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		t := b.loops[i]
+		if isContinue && t.cont == nil {
+			continue // switch/select: continue targets the enclosing loop
+		}
+		if isContinue {
+			return t.cont
+		}
+		return t.brk
+	}
+	return nil
+}
+
+// labelTargetEntry returns (creating on first use) the target record for a
+// label, with a goto destination block allocated up front so forward gotos
+// resolve.
+func (b *builder) labelTargetEntry(name string) *target {
+	t := b.labels[name]
+	if t == nil {
+		t = &target{labelTo: b.newBlock()}
+		b.labels[name] = t
+	}
+	return t
+}
+
+func (b *builder) labelTarget(name string) *Block {
+	return b.labelTargetEntry(name).labelTo
+}
+
+// String renders the graph for tests and debugging: one line per block
+// with its node count, condition marker and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d[%d]", blk.Index, len(blk.Nodes))
+		if blk.Cond != nil {
+			sb.WriteString("?")
+		}
+		if blk.Return != nil {
+			sb.WriteString("!")
+		}
+		sb.WriteString(" ->")
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,307 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as a file containing one function and returns its CFG.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() error {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// returns counts the return statements in reachable blocks.
+func returns(g *Graph) int {
+	n := 0
+	for b := range reachable(g) {
+		if b.Return != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x\nreturn nil")
+	if got := returns(g); got != 1 {
+		t.Fatalf("returns = %d, want 1\n%s", got, g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable\n%s", g)
+	}
+}
+
+func TestIfElseBothPathsReachExit(t *testing.T) {
+	g := build(t, `
+x := 1
+if x > 0 {
+	return nil
+} else {
+	x++
+}
+return nil`)
+	if got := returns(g); got != 2 {
+		t.Fatalf("returns = %d, want 2\n%s", got, g)
+	}
+	// The branch block must carry the condition with exactly two succs.
+	var cond *Block
+	for b := range reachable(g) {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("no 2-succ condition block\n%s", g)
+	}
+}
+
+func TestErrCheckKeepsCondWithPrecedingStmts(t *testing.T) {
+	// The acquire-then-check shape the analyzers depend on: the call and
+	// the `err != nil` condition must land in the same block so a pass
+	// walking Nodes then Cond sees them adjacent.
+	g := build(t, `
+err := doWork()
+if err != nil {
+	return err
+}
+return nil`)
+	found := false
+	for b := range reachable(g) {
+		if b.Cond != nil && len(b.Nodes) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("condition split from preceding statements\n%s", g)
+	}
+}
+
+func TestForLoopHasBackEdge(t *testing.T) {
+	g := build(t, `
+for i := 0; i < 3; i++ {
+	_ = i
+}
+return nil`)
+	// Some reachable block must have a successor with a smaller index
+	// (the back edge), and the exit must still be reachable.
+	back := false
+	for b := range reachable(g) {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("no back edge\n%s", g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable\n%s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, `
+xs := []int{1, 2}
+for _, x := range xs {
+	_ = x
+}
+return nil`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable\n%s", g)
+	}
+	if got := returns(g); got != 1 {
+		t.Fatalf("returns = %d, want 1\n%s", got, g)
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := build(t, `
+for {
+	if done() {
+		break
+	}
+}
+return nil`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("break does not reach exit\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, `
+outer:
+for {
+	for {
+		break outer
+	}
+}
+return nil`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("labeled break does not reach exit\n%s", g)
+	}
+	if got := returns(g); got != 1 {
+		t.Fatalf("returns = %d, want 1\n%s", got, g)
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := build(t, `
+outer:
+for i := 0; i < 3; i++ {
+	for {
+		continue outer
+	}
+}
+return nil`)
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable\n%s", g)
+	}
+}
+
+func TestSwitchDispatchAndFallthrough(t *testing.T) {
+	g := build(t, `
+switch x := pick(); x {
+case 1:
+	fallthrough
+case 2:
+	return nil
+default:
+	_ = x
+}
+return nil`)
+	if got := returns(g); got != 2 {
+		t.Fatalf("returns = %d, want 2\n%s", got, g)
+	}
+}
+
+func TestSwitchNoDefaultFallsPast(t *testing.T) {
+	g := build(t, `
+switch pick() {
+case 1:
+	return nil
+}
+return nil`)
+	if got := returns(g); got != 2 {
+		t.Fatalf("returns = %d, want 2\n%s", got, g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+var ch chan int
+select {
+case v := <-ch:
+	_ = v
+	return nil
+default:
+}
+return nil`)
+	if got := returns(g); got != 2 {
+		t.Fatalf("returns = %d, want 2\n%s", got, g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, `
+var v any
+switch v := v.(type) {
+case int:
+	_ = v
+	return nil
+case string:
+	_ = v
+}
+return nil`)
+	if got := returns(g); got != 2 {
+		t.Fatalf("returns = %d, want 2\n%s", got, g)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, `
+x := 0
+loop:
+x++
+if x < 3 {
+	goto loop
+}
+return nil`)
+	back := false
+	for b := range reachable(g) {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("goto produced no back edge\n%s", g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable\n%s", g)
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := build(t, `
+defer cleanup()
+if bad() {
+	return nil
+}
+defer cleanup()
+return nil`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(g.Defers))
+	}
+}
+
+func TestEarlyReturnPathDistinct(t *testing.T) {
+	// Every return reaches Exit directly, so a pass can enumerate exits.
+	g := build(t, `
+err := doWork()
+if err != nil {
+	return err
+}
+finish()
+return nil`)
+	exits := 0
+	for b := range reachable(g) {
+		if b.Return != nil {
+			if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+				t.Fatalf("return block b%d does not go straight to exit\n%s", b.Index, g)
+			}
+			exits++
+		}
+	}
+	if exits != 2 {
+		t.Fatalf("exit paths = %d, want 2\n%s", exits, g)
+	}
+}

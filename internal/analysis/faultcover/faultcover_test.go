@@ -1,0 +1,72 @@
+package faultcover_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/faultcover"
+)
+
+func withFixtureFaultPkg(t *testing.T) {
+	t.Helper()
+	old := faultcover.FaultPkgs
+	faultcover.FaultPkgs = []string{"nephele/internal/analysis/faultcover/testdata/src/fault"}
+	t.Cleanup(func() { faultcover.FaultPkgs = old })
+}
+
+func TestDeclSide(t *testing.T) {
+	withFixtureFaultPkg(t)
+	analysistest.Run(t, filepath.Join("testdata", "src", "fault"), faultcover.Analyzer)
+}
+
+func TestUseSide(t *testing.T) {
+	withFixtureFaultPkg(t)
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), faultcover.Analyzer)
+}
+
+func TestScanTreeVerify(t *testing.T) {
+	// The fixture tree has no _test.go referencing the points and an
+	// unlisted point, so Verify must flag exactly those drifts.
+	tf, err := faultcover.ScanTree(filepath.Join("testdata", "src"), filepath.Join("testdata", "src", "fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Points["PointGood"] != "fixture/good" {
+		t.Fatalf("Points = %v", tf.Points)
+	}
+	if got := tf.Listed["PointGood"]; len(got) != 1 || got[0] != "GoodPoints" {
+		t.Fatalf("Listed[PointGood] = %v", got)
+	}
+	if !tf.Uses["PointGood"] {
+		t.Fatalf("Uses = %v", tf.Uses)
+	}
+	violations := tf.Verify()
+	wantSub := []string{
+		"PointUnlisted",              // not listed
+		"never consulted",            // PointUnlisted & friends unused in fixture a
+		"not referenced by any test", // fixture has no tests
+	}
+	joined := ""
+	for _, v := range violations {
+		joined += v + "\n"
+	}
+	for _, sub := range wantSub {
+		found := false
+		for _, v := range violations {
+			if strings.Contains(v, sub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Verify() missing a violation mentioning %q in:\n%s", sub, joined)
+		}
+	}
+	// Sorted output is part of the contract (diff-stable CI).
+	for i := 1; i < len(violations); i++ {
+		if violations[i-1] > violations[i] {
+			t.Fatalf("violations not sorted:\n%s", joined)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package a is the faultcover use-side fixture: check sites in an
+// ordinary package consulting the fixture registry.
+package a
+
+import "nephele/internal/analysis/faultcover/testdata/src/fault"
+
+func ok(r *fault.Registry) error {
+	// A named point is the approved pattern.
+	return r.Check(fault.PointGood)
+}
+
+func raw(r *fault.Registry) error {
+	return r.Check("fixture/raw-literal") // want `raw fault-point literal "fixture/raw-literal" passed to Registry.Check`
+}
+
+func rawWaived(r *fault.Registry) error {
+	return r.Check("fixture/waived-literal") //nephele:faultcover-ok fixture: exercises the waiver path
+}
+
+func variable(r *fault.Registry, p string) error {
+	// A point threaded through a variable (the xenstore wrapper pattern)
+	// is not a raw literal.
+	return r.Check(p)
+}
+
+// notCheck has one argument and a Check-named method on a non-fault type;
+// it must not match.
+type other struct{}
+
+func (other) Check(s string) error { return nil }
+
+func unrelated(o other) error { return o.Check("not/a/fault/point") }

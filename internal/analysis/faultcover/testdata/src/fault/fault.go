@@ -1,0 +1,37 @@
+// Package fault is the faultcover fixture registry: a miniature of
+// internal/fault with the violations the analyzer must catch seeded in.
+package fault
+
+// Registry mimics the real fault registry's Check entry point.
+type Registry struct{}
+
+// Check mimics (*fault.Registry).Check.
+func (r *Registry) Check(point string) error { return nil }
+
+const (
+	// PointGood is declared, listed and fine.
+	PointGood = "fixture/good"
+	// PointAlsoListed is fine too.
+	PointAlsoListed = "fixture/also-listed"
+	// PointUnlisted drifted out of every list.
+	PointUnlisted = "fixture/unlisted" // want `fault point PointUnlisted .* not enumerated in any \*Points list`
+	// PointDupA and PointDupB collide on the same literal.
+	PointDupA = "fixture/dup"
+	PointDupB = "fixture/dup" // want `duplicate fault-point literal "fixture/dup": PointDupA and PointDupB`
+	// PointWaived drifted too, but carries a justified waiver.
+	PointWaived = "fixture/waived" //nephele:faultcover-ok fixture: exercises the waiver path
+	// notAPoint is lower-case and ignored.
+	notAPoint = "fixture/ignored"
+)
+
+// GoodPoints enumerates the healthy points.
+func GoodPoints() []string {
+	return []string{PointGood, PointAlsoListed, PointDupA, PointDupB}
+}
+
+// AllPoints composes lists the way the real PipelinePoints does.
+func AllPoints() []string {
+	return append(GoodPoints())
+}
+
+var _ = notAPoint

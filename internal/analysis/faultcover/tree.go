@@ -1,0 +1,275 @@
+package faultcover
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nephele/internal/analysis"
+)
+
+// TreeFacts is the whole-tree view of the fault-point registry: the
+// declared points, their list memberships, where non-test code consults
+// them, and which identifiers the test files reference. It is built either
+// from analyzer facts (Collect, used by nephele-lint and TestTreeIsClean
+// after a full type-checked run) or by the parse-only ScanTree (used by
+// the fast drift unit test in internal/fault).
+type TreeFacts struct {
+	// Points maps constant name -> string literal.
+	Points map[string]string
+	// Listed maps constant name -> the *Points list functions naming it.
+	Listed map[string][]string
+	// Uses maps constant name -> true when non-test code outside the
+	// fault package references it.
+	Uses map[string]bool
+	// TestRefs holds every Point* / *Points identifier referenced in a
+	// _test.go file anywhere in the tree.
+	TestRefs map[string]bool
+}
+
+func newTreeFacts() *TreeFacts {
+	return &TreeFacts{
+		Points:   make(map[string]string),
+		Listed:   make(map[string][]string),
+		Uses:     make(map[string]bool),
+		TestRefs: make(map[string]bool),
+	}
+}
+
+// Collect aggregates the faultcover facts of a whole-tree analysis run.
+// Test references are not visible to the analyzers (the loader only loads
+// non-test files), so callers must follow up with AddTestRefs.
+func Collect(facts []analysis.Fact) *TreeFacts {
+	t := newTreeFacts()
+	for _, f := range facts {
+		if f.Analyzer != Analyzer.Name {
+			continue
+		}
+		switch f.Key {
+		case FactPoint:
+			name, val, ok := strings.Cut(f.Value, "=")
+			if ok {
+				t.Points[name] = val
+			}
+		case FactListed:
+			list, name, ok := strings.Cut(f.Value, ":")
+			if ok && !contains(t.Listed[name], list) {
+				t.Listed[name] = append(t.Listed[name], list)
+			}
+		case FactUse:
+			t.Uses[f.Value] = true
+		}
+	}
+	return t
+}
+
+// AddTestRefs supplements Collect by parsing every _test.go file under
+// root (the analyzers never see test files — the offline loader loads
+// non-test sources only) and recording the Point* / *Points identifiers
+// they reference.
+func (t *TreeFacts) AddTestRefs(root string) error {
+	fset := token.NewFileSet()
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("faultcover: scanning %s: %w", path, err)
+		}
+		scanTestRefs(f, t)
+		return nil
+	})
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanTree builds TreeFacts by parsing (never type-checking) every Go file
+// under root: point constants and list membership come from faultDir (the
+// fault package directory), uses from every other non-test file, and test
+// references from every _test.go. Purely syntactic — it keys on the
+// distinctive Point* / *Points naming convention — so the drift unit test
+// stays fast enough to run un-skipped in the ordinary test suite.
+func ScanTree(root, faultDir string) (*TreeFacts, error) {
+	t := newTreeFacts()
+	fset := token.NewFileSet()
+
+	absFault, err := filepath.Abs(faultDir)
+	if err != nil {
+		return nil, err
+	}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("faultcover: scanning %s: %w", path, err)
+		}
+		abs, _ := filepath.Abs(filepath.Dir(path))
+		switch {
+		case strings.HasSuffix(path, "_test.go"):
+			scanTestRefs(f, t)
+		case abs == absFault:
+			scanFaultDecls(f, t)
+		default:
+			scanUses(f, t)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// scanFaultDecls records Point* string constants and *Points list
+// membership from one file of the fault package.
+func scanFaultDecls(f *ast.File, t *TreeFacts) {
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Point") || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						t.Points[name.Name] = strings.Trim(lit.Value, "`\"")
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if d.Body == nil || !strings.HasSuffix(d.Name.Name, "Points") {
+				continue
+			}
+			ast.Inspect(d.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(id.Name, "Point") && id.Name != d.Name.Name {
+					if !contains(t.Listed[id.Name], d.Name.Name) {
+						t.Listed[id.Name] = append(t.Listed[id.Name], d.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func scanUses(f *ast.File, t *TreeFacts) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fault" && strings.HasPrefix(sel.Sel.Name, "Point") {
+			t.Uses[sel.Sel.Name] = true
+		}
+		return true
+	})
+}
+
+func scanTestRefs(f *ast.File, t *TreeFacts) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (strings.HasPrefix(id.Name, "Point") || strings.HasSuffix(id.Name, "Points")) {
+			t.TestRefs[id.Name] = true
+		}
+		return true
+	})
+}
+
+// Verify checks the tree-wide invariants and returns the violations,
+// sorted, one human-readable line each (empty means the registry is
+// drift-free):
+//
+//   - every point is enumerated in at least one *Points list;
+//   - every point is consulted by non-test code (a point nothing checks is
+//     dead vocabulary);
+//   - every point is exercised by at least one test, either by name or by
+//     a test iterating a list that enumerates it;
+//   - every list entry names a declared point (a stale list entry would
+//     arm nothing).
+func (t *TreeFacts) Verify() []string {
+	var out []string
+	for name, val := range t.Points {
+		lists := t.Listed[name]
+		if len(lists) == 0 {
+			out = append(out, fmt.Sprintf("fault point %s (%q) is not enumerated in any *Points list", name, val))
+		}
+		if !t.Uses[name] {
+			out = append(out, fmt.Sprintf("fault point %s (%q) is never consulted by non-test code", name, val))
+		}
+		covered := t.TestRefs[name]
+		for _, l := range lists {
+			if t.TestRefs[l] {
+				covered = true
+			}
+		}
+		if !covered {
+			out = append(out, fmt.Sprintf("fault point %s (%q) is not referenced by any test, directly or via a *Points list", name, val))
+		}
+	}
+	for name := range t.Listed {
+		if _, ok := t.Points[name]; !ok {
+			out = append(out, fmt.Sprintf("*Points lists enumerate %s, which is not a declared fault point", name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultDir locates the fault package directory under the module rooted at
+// or above dir, for ScanTree callers that only know their own location.
+func FaultDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return filepath.Join(d, "internal", "fault"), nil
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", fmt.Errorf("faultcover: no go.mod above %s", abs)
+		}
+	}
+}

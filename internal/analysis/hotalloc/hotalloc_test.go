@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), hotalloc.Analyzer)
+}

@@ -1,0 +1,78 @@
+// Package a is the hotalloc fixture: allocation patterns inside
+// //nephele:noalloc functions.
+package a
+
+import "fmt"
+
+type big struct{ a, b, c int64 }
+
+type sink interface{ M() }
+
+type impl struct{ x int }
+
+func (impl) M() {}
+
+var global *big
+
+// hot is the warm path under test.
+//
+//nephele:noalloc
+func hot(m map[string]int, s []int, name string, v impl, i sink) {
+	_ = &big{1, 2, 3}        // want `noalloc: &composite literal escapes`
+	_ = []int{1, 2, 3}       // want `noalloc: slice literal allocates`
+	_ = map[string]int{}     // want `noalloc: map literal allocates`
+	_ = make([]int, 4)       // want `noalloc: make allocates`
+	_ = new(big)             // want `noalloc: new allocates`
+	s = append(s, 1)         // want `noalloc: append may grow`
+	f := func() {}           // want `noalloc: function literal allocates its closure`
+	go f()                   // want `noalloc: go statement allocates a goroutine`
+	_ = "span." + name       // want `noalloc: string concatenation allocates`
+	_ = []byte(name)         // want `noalloc: \[\]byte conversion copies`
+	m["k"] = 1               // want `noalloc: map write may allocate`
+	i = v                    // want `noalloc: assigning a concrete value to .*sink boxes`
+	takeSink(v)              // want `noalloc: passing a concrete value as .*sink boxes`
+	fmt.Println(v)           // want `noalloc: passing a concrete value as (any|interface\{\}) boxes`
+	_ = s
+	_ = i
+}
+
+// hotReturn boxes at the return boundary.
+//
+//nephele:noalloc
+func hotReturn(v impl) sink {
+	return v // want `noalloc: returning a concrete value as .*sink boxes`
+}
+
+// hotOK exercises the allocation-free patterns that must stay silent.
+//
+//nephele:noalloc
+func hotOK(p *impl, s []int, m map[string]int, i sink) int {
+	v := big{1, 2, 3}  // value struct literal: stack
+	x := v.a + v.b     // arithmetic
+	_ = s[0]           // index read
+	_ = m["k"]         // map read
+	_ = len(s)         // len builtin
+	takeIface(p)       // pointer into interface: no boxing allocation
+	takeIface(nil)     // nil: no boxing
+	takeIface(i)       // already an interface
+	global = p.ptr()   // ordinary call
+	return int(x)      // numeric conversion
+}
+
+// hotWaived keeps a justified escape hatch on an enabled-only branch.
+//
+//nephele:noalloc
+func hotWaived(enabled bool, name string) {
+	if enabled {
+		_ = "span." + name + ".us" //nephele:hotalloc-ok fixture: enabled-only branch
+	}
+}
+
+// unmarked functions are never scanned.
+func unmarked() *big { return &big{} }
+
+func takeIface(s any) {}
+
+func takeSink(s sink) {}
+
+func (impl) ptr() *big { return nil }

@@ -196,10 +196,10 @@ func PackageDirs(root string) ([]string, error) {
 			return nil
 		}
 		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
-			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
-				dirs = append(dirs, dir)
-			}
+			// A subdirectory whose name sorts between two .go files splits
+			// the directory's file run in WalkDir order, so a last-entry
+			// check is not enough: dedupe for real after sorting.
+			dirs = append(dirs, filepath.Dir(path))
 		}
 		return nil
 	})
@@ -207,5 +207,11 @@ func PackageDirs(root string) ([]string, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	return dirs, nil
+	uniq := dirs[:0]
+	for _, d := range dirs {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != d {
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq, nil
 }

@@ -1,0 +1,18 @@
+package opctx_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/opctx"
+)
+
+func TestOpCtx(t *testing.T) {
+	oldObs, oldMeter := opctx.ObsPkgs, opctx.MeterPkgs
+	opctx.ObsPkgs = []string{"nephele/internal/analysis/opctx/testdata/src/obs"}
+	opctx.MeterPkgs = []string{"nephele/internal/analysis/opctx/testdata/src/vclock"}
+	t.Cleanup(func() { opctx.ObsPkgs, opctx.MeterPkgs = oldObs, oldMeter })
+
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), opctx.Analyzer)
+}

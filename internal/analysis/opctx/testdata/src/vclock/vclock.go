@@ -1,0 +1,8 @@
+// Package vclock is the opctx fixture's stand-in for the virtual clock.
+package vclock
+
+// Meter mimics vclock.Meter.
+type Meter struct{}
+
+// NewMeter mimics vclock.NewMeter.
+func NewMeter(costs any) *Meter { return &Meter{} }

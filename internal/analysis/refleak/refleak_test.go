@@ -1,0 +1,13 @@
+package refleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/refleak"
+)
+
+func TestRefLeak(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), refleak.Analyzer)
+}

@@ -1,0 +1,377 @@
+// Package spanend verifies that every virtual-time span is ended on every
+// control-flow path. A Span returned by OpCtx.StartSpan records EndV=-1
+// until End is called; a path that returns early without ending it leaves
+// a dangling record, the golden traces skew, and — when metrics are
+// enabled — the span.*.us histogram silently loses samples. The leak is
+// invisible to tests that only drive the happy path, which is exactly
+// where early `return err` branches hide.
+//
+// The analyzer runs on the shared CFG (internal/analysis/cfg): each local
+// span variable assigned from StartSpan is tracked as a may-be-open fact
+// propagated over the graph; any return (or fall-off-the-end) reachable
+// with the span still open is reported once per span, at the earliest
+// offending exit.
+//
+// A span obligation is discharged by:
+//
+//   - s.End() on the path;
+//   - defer s.End() anywhere in the function (runs on every path);
+//   - reassigning the variable (the `s = obs.Span{}` ownership-transfer
+//     reset used by the clone fail closures);
+//   - any other use of the variable — passing it to a helper, storing it
+//     in a field, returning it, or capturing it in a closure transfers
+//     ownership, and the analyzer conservatively stops tracking.
+//
+// Assigning the span result to the blank identifier is reported
+// immediately: a discarded span can never be ended.
+//
+// Waive with //nephele:spanend-ok and a justification.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"nephele/internal/analysis"
+	"nephele/internal/analysis/cfg"
+)
+
+// Analyzer is the span-balance pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "spanend",
+	Doc:      "every OpCtx.StartSpan span must be ended (or ownership-transferred) on every control-flow path",
+	Suppress: "nephele:spanend-ok",
+	Run:      run,
+}
+
+// ObsPkgs are the import paths of the observability package declaring
+// StartSpan. Tests override this to point at fixtures.
+var ObsPkgs = []string{"nephele/internal/obs"}
+
+func isObsPkg(path string) bool {
+	for _, p := range ObsPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	// The obs package itself constructs and hands out spans.
+	if isObsPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// spanVar is one tracked span obligation.
+type spanVar struct {
+	obj      *types.Var
+	startPos token.Pos
+	bit      uint64
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Pass 1: find span variables born from StartSpan in this function
+	// body (including inside closures — a closure's own spans get the same
+	// treatment since the CFG nodes of a FuncLit body are not part of the
+	// enclosing graph; closures are analyzed separately below).
+	vars := collect(pass, fd.Body)
+	if len(vars) != 0 {
+		analyze(pass, fd.Body, vars)
+	}
+	// Closures run their own intraprocedural analysis: a span started
+	// *inside* a function literal must balance inside it.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if inner := collect(pass, fl.Body); len(inner) != 0 {
+				analyze(pass, fl.Body, inner)
+			}
+		}
+		return true
+	})
+}
+
+// collect finds the span variables assigned from StartSpan directly in
+// body (not inside nested function literals), reports blank-identifier
+// discards, and filters out variables whose obligation is discharged
+// wholesale: deferred End, or any use beyond End/reassignment (ownership
+// transfer).
+func collect(pass *analysis.Pass, body *ast.BlockStmt) []*spanVar {
+	var vars []*spanVar
+	byObj := make(map[*types.Var]*spanVar)
+	eachStartAssign(pass, body, func(as *ast.AssignStmt, spanIdent *ast.Ident) {
+		if spanIdent.Name == "_" {
+			pass.Reportf(as.Pos(), "span result of StartSpan discarded: a blank span can never be ended and its trace record stays open")
+			return
+		}
+		obj := varOf(pass, spanIdent)
+		if obj == nil || byObj[obj] != nil {
+			return
+		}
+		sv := &spanVar{obj: obj, startPos: as.Pos()}
+		byObj[obj] = sv
+		vars = append(vars, sv)
+	})
+	if len(vars) == 0 {
+		return nil
+	}
+
+	// Discharge analysis: walk every identifier use of each tracked var
+	// and classify it. End receivers and assignment targets are the
+	// closing/killing uses the dataflow models; a deferred End exempts the
+	// var; anything else transfers ownership and untracks it.
+	exempt := make(map[*types.Var]bool)
+	transferred := make(map[*types.Var]bool)
+	modeled := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Uses inside closures are ownership transfers (the fail-
+			// closure pattern may End the span conditionally); leave them
+			// to the transferred walk below.
+			return false
+		case *ast.DeferStmt:
+			if id := endReceiver(n.Call); id != nil {
+				if obj := varOf(pass, id); obj != nil && byObj[obj] != nil {
+					exempt[obj] = true
+					modeled[id] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id := endReceiver(n); id != nil {
+				if obj := varOf(pass, id); obj != nil && byObj[obj] != nil {
+					modeled[id] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := varOf(pass, id); obj != nil && byObj[obj] != nil {
+						modeled[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || modeled[id] {
+			return true
+		}
+		if obj := varOf(pass, id); obj != nil && byObj[obj] != nil {
+			transferred[obj] = true
+		}
+		return true
+	})
+
+	out := vars[:0]
+	var bit uint64 = 1
+	for _, sv := range vars {
+		if exempt[sv.obj] || transferred[sv.obj] {
+			continue
+		}
+		if bit == 0 { // more than 64 spans in one function: give up quietly
+			return nil
+		}
+		sv.bit = bit
+		bit <<= 1
+		out = append(out, sv)
+	}
+	return out
+}
+
+// analyze propagates may-be-open span facts over the CFG and reports each
+// span once, at the earliest exit still holding it open.
+func analyze(pass *analysis.Pass, body *ast.BlockStmt, vars []*spanVar) {
+	g := cfg.New(body)
+	byObj := make(map[*types.Var]*spanVar, len(vars))
+	for _, sv := range vars {
+		byObj[sv.obj] = sv
+	}
+
+	// transfer applies one CFG node to the open-set, skipping nested
+	// function literals (their spans are analyzed separately and their
+	// uses of outer spans were classified as transfers in collect).
+	transfer := func(n ast.Node, state uint64) uint64 {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				if _, spanIdent := startAssign(pass, x); spanIdent != nil && spanIdent.Name != "_" {
+					if sv := byObj[varOf(pass, spanIdent)]; sv != nil {
+						state |= sv.bit
+						return true
+					}
+				}
+				for _, lhs := range x.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if sv := byObj[varOf(pass, id)]; sv != nil {
+							state &^= sv.bit // reassignment discharges
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if id := endReceiver(x); id != nil {
+					if sv := byObj[varOf(pass, id)]; sv != nil {
+						state &^= sv.bit
+					}
+				}
+			}
+			return true
+		})
+		return state
+	}
+
+	// May-analysis fixpoint: union at joins, monotone states.
+	in := make([]uint64, len(g.Blocks))
+	work := []*cfg.Block{g.Entry}
+	onWork := make([]bool, len(g.Blocks))
+	visited := make([]bool, len(g.Blocks))
+	onWork[g.Entry.Index] = true
+	// leaks maps span bit index -> earliest offending exit position.
+	leaks := make(map[*spanVar]token.Pos)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		onWork[b.Index] = false
+		visited[b.Index] = true
+		state := in[b.Index]
+		for _, n := range b.Nodes {
+			state = transfer(n, state)
+		}
+		if b.Cond != nil {
+			state = transfer(b.Cond, state)
+		}
+		exitPos := token.NoPos
+		if b.Return != nil {
+			exitPos = b.Return.Pos()
+		} else if fallsToExit(b, g) {
+			exitPos = body.Rbrace
+		}
+		if exitPos.IsValid() && state != 0 {
+			for _, sv := range vars {
+				if state&sv.bit == 0 {
+					continue
+				}
+				if cur, ok := leaks[sv]; !ok || exitPos < cur {
+					leaks[sv] = exitPos
+				}
+			}
+		}
+		for _, s := range b.Succs {
+			// Enqueue on new facts, and always on first reach — a block
+			// arrived at with the empty state still has to run its own
+			// transfer (its successors may leak spans it opens).
+			if in[s.Index]|state != in[s.Index] || !visited[s.Index] {
+				in[s.Index] |= state
+				if !onWork[s.Index] {
+					onWork[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+
+	ordered := make([]*spanVar, 0, len(leaks))
+	for sv := range leaks {
+		ordered = append(ordered, sv)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].startPos < ordered[j].startPos })
+	for _, sv := range ordered {
+		pass.Reportf(leaks[sv], "span %q started at %s is not ended on this path: End it (or defer it) before returning", sv.obj.Name(), pass.Fset.Position(sv.startPos))
+	}
+}
+
+// fallsToExit reports whether b reaches the exit without a return — the
+// fall-off-the-end path of a void function.
+func fallsToExit(b *cfg.Block, g *cfg.Graph) bool {
+	for _, s := range b.Succs {
+		if s == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+// eachStartAssign invokes fn for every `_, s := ctx.StartSpan(...)`-shaped
+// assignment directly in body, skipping nested function literals.
+func eachStartAssign(pass *analysis.Pass, body *ast.BlockStmt, fn func(*ast.AssignStmt, *ast.Ident)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if _, spanIdent := startAssign(pass, as); spanIdent != nil {
+				fn(as, spanIdent)
+			}
+		}
+		return true
+	})
+}
+
+// startAssign recognizes `a, b := expr.StartSpan(...)` and returns the
+// call plus the identifier receiving the Span (the second result).
+func startAssign(pass *analysis.Pass, as *ast.AssignStmt) (*ast.CallExpr, *ast.Ident) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return nil, nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !isObsPkg(fn.Pkg().Path()) {
+		return nil, nil
+	}
+	id, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	return call, id
+}
+
+// endReceiver returns the receiver identifier of an `x.End()` call, or
+// nil.
+func endReceiver(call *ast.CallExpr) *ast.Ident {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return id
+}
+
+// varOf resolves an identifier to its variable object (definition or
+// use).
+func varOf(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if id == nil {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package spanend_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nephele/internal/analysis/analysistest"
+	"nephele/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	old := spanend.ObsPkgs
+	spanend.ObsPkgs = []string{"nephele/internal/analysis/spanend/testdata/src/obs"}
+	t.Cleanup(func() { spanend.ObsPkgs = old })
+
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), spanend.Analyzer)
+}

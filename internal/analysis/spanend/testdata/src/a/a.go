@@ -1,0 +1,166 @@
+// Package a is the spanend fixture: span lifetimes across early returns,
+// defers, resets and ownership transfers.
+package a
+
+import "nephele/internal/analysis/spanend/testdata/src/obs"
+
+func work(ctx obs.OpCtx) error { return nil }
+
+// leakOnErrPath is the bug class the analyzer exists for: the early
+// `return err` skips End.
+func leakOnErrPath(ctx obs.OpCtx) error {
+	ctx2, span := ctx.StartSpan("op")
+	if err := work(ctx2); err != nil {
+		return err // want `span "span" started at .* is not ended on this path`
+	}
+	span.End()
+	return nil
+}
+
+// leakEveryPath never ends at all; the report lands on the first exit.
+func leakEveryPath(ctx obs.OpCtx) {
+	_, span := ctx.StartSpan("op") // assigned, never ended
+	_ = span
+}
+
+// balanced ends on both paths.
+func balanced(ctx obs.OpCtx) error {
+	ctx2, span := ctx.StartSpan("op")
+	if err := work(ctx2); err != nil {
+		span.End()
+		return err
+	}
+	span.End()
+	return nil
+}
+
+// deferred is exempt on every path.
+func deferred(ctx obs.OpCtx) error {
+	ctx2, span := ctx.StartSpan("op")
+	defer span.End()
+	if err := work(ctx2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// reset models the clone fail-closure ownership pattern: reassigning the
+// span variable discharges the obligation.
+func reset(ctx obs.OpCtx) error {
+	ctx2, span := ctx.StartSpan("op")
+	if err := work(ctx2); err != nil {
+		span.End()
+		span = obs.Span{}
+		_ = span
+		return err
+	}
+	span.End()
+	return nil
+}
+
+// transferredToClosure hands the span to a fail closure; ownership moves
+// and the analyzer stays quiet.
+func transferredToClosure(ctx obs.OpCtx) error {
+	ctx2, span := ctx.StartSpan("op")
+	fail := func(err error) error {
+		span.End()
+		return err
+	}
+	if err := work(ctx2); err != nil {
+		return fail(err)
+	}
+	span.End()
+	return nil
+}
+
+// transferredToHelper passes the span on; the callee owns it now.
+func transferredToHelper(ctx obs.OpCtx) {
+	_, span := ctx.StartSpan("op")
+	endLater(span)
+}
+
+func endLater(s obs.Span) { s.End() }
+
+// discarded can never be ended.
+func discarded(ctx obs.OpCtx) {
+	_, _ = ctx.StartSpan("op") // want `span result of StartSpan discarded`
+}
+
+// loopBalanced re-starts and ends per iteration.
+func loopBalanced(ctx obs.OpCtx) error {
+	for i := 0; i < 4; i++ {
+		ctx2, span := ctx.StartSpan("iter")
+		if err := work(ctx2); err != nil {
+			span.End()
+			return err
+		}
+		span.End()
+	}
+	return nil
+}
+
+// loopLeak leaks when the loop breaks early.
+func loopLeak(ctx obs.OpCtx) error {
+	for i := 0; i < 4; i++ {
+		ctx2, span := ctx.StartSpan("iter")
+		if err := work(ctx2); err != nil {
+			return err // want `span "span" started at .* is not ended on this path`
+		}
+		span.End()
+	}
+	return nil
+}
+
+// closureInternal balances a span started inside a function literal.
+func closureInternal(ctx obs.OpCtx) func() error {
+	return func() error {
+		ctx2, span := ctx.StartSpan("inner")
+		err := work(ctx2)
+		span.End()
+		return err
+	}
+}
+
+// closureInternalLeak leaks inside the literal.
+func closureInternalLeak(ctx obs.OpCtx) func() error {
+	return func() error {
+		ctx2, span := ctx.StartSpan("inner")
+		if err := work(ctx2); err != nil {
+			return err // want `span "span" started at .* is not ended on this path`
+		}
+		span.End()
+		return nil
+	}
+}
+
+// waived keeps a justified escape hatch.
+func waived(ctx obs.OpCtx) error {
+	ctx2, span := ctx.StartSpan("op")
+	if err := work(ctx2); err != nil {
+		return err //nephele:spanend-ok fixture: exercises the waiver path
+	}
+	span.End()
+	return nil
+}
+
+// switchLeak leaks through one case only.
+func switchLeak(ctx obs.OpCtx, mode int) error {
+	ctx2, span := ctx.StartSpan("op")
+	switch mode {
+	case 0:
+		span.End()
+		return nil
+	case 1:
+		return work(ctx2) // want `span "span" started at .* is not ended on this path`
+	}
+	span.End()
+	return nil
+}
+
+// fallOffEnd leaks on the implicit return of a void function.
+func fallOffEnd(ctx obs.OpCtx, enabled bool) {
+	_, span := ctx.StartSpan("op")
+	if enabled {
+		span.End()
+	}
+} // want `span "span" started at .* is not ended on this path`

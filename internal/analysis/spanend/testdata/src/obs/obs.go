@@ -1,0 +1,15 @@
+// Package obs is the spanend fixture's stand-in for the observability
+// package: just enough OpCtx/Span surface for the analyzer to track.
+package obs
+
+// Span mimics obs.Span.
+type Span struct{ id int32 }
+
+// End mimics obs.Span.End.
+func (s Span) End() {}
+
+// OpCtx mimics obs.OpCtx.
+type OpCtx struct{ span int32 }
+
+// StartSpan mimics obs.OpCtx.StartSpan.
+func (c OpCtx) StartSpan(name string) (OpCtx, Span) { return c, Span{} }

@@ -7,14 +7,21 @@ import (
 
 	"nephele/internal/analysis"
 	"nephele/internal/analysis/determinism"
+	"nephele/internal/analysis/faultcover"
+	"nephele/internal/analysis/hotalloc"
 	"nephele/internal/analysis/lockorder"
+	"nephele/internal/analysis/opctx"
 	"nephele/internal/analysis/pairedops"
+	"nephele/internal/analysis/refleak"
 	"nephele/internal/analysis/seqlock"
+	"nephele/internal/analysis/spanend"
 )
 
 // TestTreeIsClean runs every analyzer over the whole module and fails on
 // any unwaived finding, so `go test ./...` enforces the same invariants CI
-// checks via cmd/nephele-lint.
+// checks via cmd/nephele-lint. The faultcover facts collected along the
+// way feed the tree-wide registry verification (every point listed, used,
+// and test-covered).
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-tree lint type-checks the module; skipped with -short")
@@ -32,7 +39,13 @@ func TestTreeIsClean(t *testing.T) {
 		determinism.Analyzer,
 		pairedops.Analyzer,
 		seqlock.Analyzer,
+		refleak.Analyzer,
+		spanend.Analyzer,
+		opctx.Analyzer,
+		faultcover.Analyzer,
+		hotalloc.Analyzer,
 	}
+	var facts []analysis.Fact
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
@@ -42,12 +55,20 @@ func TestTreeIsClean(t *testing.T) {
 			}
 			t.Fatalf("load %s: %v", dir, err)
 		}
-		findings, _, err := analysis.Run(pkg, analyzers)
+		res, err := analysis.RunAll(pkg, analyzers)
 		if err != nil {
 			t.Fatalf("run %s: %v", dir, err)
 		}
-		for _, d := range findings {
+		for _, d := range res.Findings {
 			t.Errorf("%s", d)
 		}
+		facts = append(facts, res.Facts...)
+	}
+	tf := faultcover.Collect(facts)
+	if err := tf.AddTestRefs(loader.ModuleDir); err != nil {
+		t.Fatalf("test refs: %v", err)
+	}
+	for _, v := range tf.Verify() {
+		t.Errorf("fault registry: %s", v)
 	}
 }

@@ -150,6 +150,15 @@ func LazyPoints() []string {
 	return []string{PointMemStreamExtent, PointMemUnmappedFault, PointMemLazyFinalize}
 }
 
+// MaintenancePoints lists the fault points of background pool
+// maintenance. They fire outside any clone operation — re-striding runs
+// on a quiesced pool — so a failure aborts the maintenance pass and
+// leaves the previous layout in place, with no child or pipeline state to
+// unwind.
+func MaintenancePoints() []string {
+	return []string{PointMemRestride}
+}
+
 // Error is the failure an armed fault point returns.
 type Error struct {
 	Point string

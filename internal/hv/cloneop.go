@@ -957,5 +957,11 @@ func resetSpace(child, parent *mem.Space, machine *mem.Memory, meter *vclock.Met
 	if meter != nil {
 		meter.Charge(meter.Costs().CloneResetPage, restored)
 	}
+	// A non-nil firstErr means this iteration's AddSharer/Share either
+	// failed (nothing acquired) or its reference was dropped by the Remap
+	// failure path above; earlier iterations' references were consumed by
+	// their successful Remaps. refleak cannot see the firstErr-implies-
+	// unwound correlation across the branch join.
+	//nephele:refleak-ok balanced via the firstErr invariant documented above
 	return restored, firstErr
 }

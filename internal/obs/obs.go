@@ -44,12 +44,18 @@ type OpCtx struct {
 // Ctx wraps a meter into an operation context. A nil meter is allowed and
 // keeps the context's charging disabled, matching the legacy nil-meter
 // convention.
+//
+//nephele:noalloc
 func Ctx(meter *vclock.Meter) OpCtx { return OpCtx{meter: meter} }
 
 // Meter returns the context's meter (nil when charging is disabled).
+//
+//nephele:noalloc
 func (c OpCtx) Meter() *vclock.Meter { return c.meter }
 
 // WithMeter returns a copy of the context charging onto m.
+//
+//nephele:noalloc
 func (c OpCtx) WithMeter(m *vclock.Meter) OpCtx {
 	c.meter = m
 	return c
@@ -66,10 +72,14 @@ func (c OpCtx) EnsureMeter(costs *vclock.CostModel) OpCtx {
 }
 
 // Trace returns the attached trace (nil when span recording is disabled).
+//
+//nephele:noalloc
 func (c OpCtx) Trace() *Trace { return c.trace }
 
 // WithTrace returns a copy of the context recording spans into t, at top
 // level (no active parent span).
+//
+//nephele:noalloc
 func (c OpCtx) WithTrace(t *Trace) OpCtx {
 	c.trace = t
 	c.span = 0
@@ -78,11 +88,15 @@ func (c OpCtx) WithTrace(t *Trace) OpCtx {
 
 // SpanID returns the active span's ID within the attached trace (0 when
 // none is active).
+//
+//nephele:noalloc
 func (c OpCtx) SpanID() int32 { return c.span }
 
 // WithFaults returns a copy of the context whose fault scope is r. The
 // scope overrides component fault registries wherever the pipeline
 // consults Faults.
+//
+//nephele:noalloc
 func (c OpCtx) WithFaults(r *fault.Registry) OpCtx {
 	c.faults = r
 	return c
@@ -91,6 +105,8 @@ func (c OpCtx) WithFaults(r *fault.Registry) OpCtx {
 // Faults resolves the fault registry for this operation: the context's
 // scope when one is set, otherwise the component's own registry (which may
 // itself be nil — fault.Registry methods are nil-safe).
+//
+//nephele:noalloc
 func (c OpCtx) Faults(fallback *fault.Registry) *fault.Registry {
 	if c.faults != nil {
 		return c.faults
@@ -104,6 +120,8 @@ func (c OpCtx) Faults(fallback *fault.Registry) *fault.Registry {
 // nest) plus the span handle to End. With no trace attached it returns the
 // context unchanged and a zero Span whose End is a no-op — the disabled
 // path performs no allocation.
+//
+//nephele:noalloc
 func (c OpCtx) StartSpan(name string) (OpCtx, Span) {
 	if c.trace == nil {
 		return c, Span{}

@@ -95,6 +95,8 @@ func (t *Trace) start(name string, parent int32, m *vclock.Meter) Span {
 }
 
 // End closes the span at the meter's current virtual time.
+//
+//nephele:noalloc
 func (s Span) End() {
 	if s.t == nil {
 		return
@@ -111,7 +113,9 @@ func (s Span) End() {
 	reg, name, dur := s.t.metrics, rec.Name, rec.DurV()
 	s.t.mu.Unlock()
 	if reg != nil {
-		reg.Histogram("span." + name + ".us").Observe(int64(dur / vclock.Duration(time.Microsecond)))
+		// The metrics branch only runs with a registry attached — a
+		// profiling configuration, not the meter-only warm path.
+		reg.Histogram("span." + name + ".us").Observe(int64(dur / vclock.Duration(time.Microsecond))) //nephele:hotalloc-ok name concat is on the registry-attached profiling branch only
 	}
 }
 
