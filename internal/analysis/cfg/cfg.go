@@ -206,11 +206,20 @@ func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 		return exit
 
 	case *ast.RangeStmt:
-		// The range header re-evaluates on every iteration, so it lives
-		// in the loop head; the whole RangeStmt node stands in for the
-		// header so analyses can scan X and the iteration variables.
+		// The range expression is evaluated once, before the loop, so it
+		// joins the predecessor block; only the per-iteration header (the
+		// key/value variables) lives in the loop head. The body is built
+		// as ordinary blocks below — it must never ride along in a head
+		// node, or dataflow passes inspecting head nodes would replay the
+		// entire body at loop entry, out of CFG order.
+		cur = b.add(s.X, cur)
 		head := b.newBlock()
-		head.Nodes = append(head.Nodes, s)
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.Nodes = append(head.Nodes, s.Value)
+		}
 		b.link(cur, head)
 		exit := b.newBlock()
 		body := b.newBlock()
@@ -293,6 +302,11 @@ func (b *builder) clauses(body *ast.BlockStmt, cur *Block, label string) *Block 
 	if cur == nil {
 		cur = b.newBlock()
 	}
+	// Save the enclosing switch's fallthrough destination: a nested
+	// switch inside an outer case clause must not clobber it, or a
+	// `fallthrough` placed after the nested switch would link to nil and
+	// silently drop the edge to the next case body.
+	prevFallthrough := b.fallthroughTo
 	exit := b.newBlock()
 	t := &target{brk: exit}
 	// Pre-create clause body blocks so fallthrough can jump forward.
@@ -331,7 +345,7 @@ func (b *builder) clauses(body *ast.BlockStmt, cur *Block, label string) *Block 
 		out := b.stmts(stmts, head)
 		b.link(out, exit)
 	}
-	b.fallthroughTo = nil
+	b.fallthroughTo = prevFallthrough
 	b.popLoop()
 	if !hasDefault {
 		b.link(cur, exit)

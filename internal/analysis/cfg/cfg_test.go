@@ -142,6 +142,68 @@ return nil`)
 	}
 }
 
+func TestRangeHeadExcludesBody(t *testing.T) {
+	// The loop head must hold only the range header: if the whole
+	// RangeStmt (body included) sat in a head node, dataflow passes that
+	// ast.Inspect block nodes would replay the body at loop entry.
+	g := build(t, `
+xs := []int{1, 2}
+for _, x := range xs {
+	_ = x
+}
+return nil`)
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				t.Fatalf("block b%d carries the whole RangeStmt (body included)\n%s", b.Index, g)
+			}
+		}
+	}
+	// The body statement must still appear in some reachable block.
+	found := false
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("range body statements missing from the graph\n%s", g)
+	}
+}
+
+func TestFallthroughAfterNestedSwitch(t *testing.T) {
+	// A nested switch inside an outer case clause must not clobber the
+	// outer clause's fallthrough destination.
+	g := build(t, `
+switch pick() {
+case 1:
+	switch pick() {
+	case 3:
+		_ = 3
+	}
+	fallthrough
+case 2:
+	return nil
+}
+return nil`)
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			br, ok := n.(*ast.BranchStmt)
+			if !ok || br.Tok.String() != "fallthrough" {
+				continue
+			}
+			if len(b.Succs) == 0 {
+				t.Fatalf("fallthrough block b%d has no successor (edge to next case dropped)\n%s", b.Index, g)
+			}
+		}
+	}
+	if got := returns(g); got != 2 {
+		t.Fatalf("returns = %d, want 2\n%s", got, g)
+	}
+}
+
 func TestInfiniteLoopWithBreak(t *testing.T) {
 	g := build(t, `
 for {

@@ -7,8 +7,9 @@
 // new meter starts at zero, its costs never merge back, and the golden
 // traces skew without any test failing.
 //
-// The analyzer reports those four constructors inside any function (or
-// closure within it) that has an OpCtx parameter. The approved patterns
+// The analyzer reports those four constructors inside any function that
+// has an OpCtx parameter — declared function or function literal — and
+// inside every closure nested within one. The approved patterns
 // remain available: ctx.WithMeter/WithTrace/WithFaults/EnsureMeter derive
 // from the in-scope context, and ctx.Detach() is the sanctioned way to
 // hand a sub-context to a goroutine with a deterministic merge point.
@@ -58,23 +59,50 @@ func run(pass *analysis.Pass) error {
 	}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !hasOpCtxParam(pass, fd) {
-				continue
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				if hasOpCtxParam(pass, d.Type.Params) {
+					checkBody(pass, d.Body)
+				} else {
+					// The declared function is not an operation, but a
+					// function literal inside it that itself takes an
+					// OpCtx is one.
+					checkLits(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level var initializers can hold OpCtx-taking
+				// function literals too.
+				checkLits(pass, d)
 			}
-			checkBody(pass, fd.Body)
 		}
 	}
 	return nil
 }
 
-// hasOpCtxParam reports whether fd takes an obs.OpCtx (by value or
-// pointer) as a parameter.
-func hasOpCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
-	if fd.Type.Params == nil {
+// checkLits finds function literals that themselves take an obs.OpCtx
+// parameter in code not already covered by an enclosing checked function,
+// and checks their bodies. checkBody covers everything nested inside a
+// match, so the walk does not descend past one.
+func checkLits(pass *analysis.Pass, n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if fl, ok := x.(*ast.FuncLit); ok && hasOpCtxParam(pass, fl.Type.Params) {
+			checkBody(pass, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// hasOpCtxParam reports whether the parameter list contains an obs.OpCtx
+// (by value or pointer).
+func hasOpCtxParam(pass *analysis.Pass, params *ast.FieldList) bool {
+	if params == nil {
 		return false
 	}
-	for _, field := range fd.Type.Params.List {
+	for _, field := range params.List {
 		tv, ok := pass.TypesInfo.Types[field.Type]
 		if !ok {
 			continue

@@ -30,6 +30,24 @@ func opClosure(ctx obs.OpCtx) {
 	_ = f
 }
 
+// litOp holds no OpCtx itself, but the function literal inside it takes
+// one: the literal's body is an operation and must thread its ctx.
+func litOp() {
+	h := func(ctx obs.OpCtx) {
+		_ = obs.NewTrace() // want `obs\.NewTrace inside an operation forks the trace`
+		inner := func() {
+			_ = vclock.NewMeter(nil) // want `vclock\.NewMeter inside an operation forks virtual time`
+		}
+		inner()
+	}
+	h(obs.OpCtx{})
+}
+
+// litOpVar is a package-level literal holding an OpCtx parameter.
+var litOpVar = func(ctx *obs.OpCtx) {
+	_ = obs.Ctx(nil) // want `obs\.Ctx mints a fresh OpCtx inside an operation`
+}
+
 // waived keeps a justified escape hatch.
 func waived(ctx obs.OpCtx) {
 	_ = vclock.NewMeter(nil) //nephele:opctx-ok fixture: throwaway diagnostic meter

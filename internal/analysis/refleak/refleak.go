@@ -500,13 +500,29 @@ func (c *checker) analyze(fd *ast.FuncDecl) {
 	in := make([]state, len(g.Blocks))
 	visited := make([]bool, len(g.Blocks))
 	onWork := make([]bool, len(g.Blocks))
+	// hasIn marks blocks whose in-state has been seeded by a
+	// predecessor. nilErr is a must-fact merged by intersection, and the
+	// zero state is NOT its identity (it claims nothing is known nil):
+	// the first merge into a block must adopt the incoming state
+	// wholesale, or a fact like "err is nil past its guard" could never
+	// survive a block boundary. Only later merges intersect.
+	hasIn := make([]bool, len(g.Blocks))
+	hasIn[g.Entry.Index] = true // entry truly starts with nothing known
 	work := []*cfg.Block{g.Entry}
 	onWork[g.Entry.Index] = true
 	// leaks maps site index -> earliest offending error return.
 	leaks := make(map[int]token.Pos)
 
 	propagate := func(to *cfg.Block, st state) []*cfg.Block {
-		if mergeInto(&in[to.Index], st) || !visited[to.Index] {
+		var changed bool
+		if !hasIn[to.Index] {
+			in[to.Index] = st
+			hasIn[to.Index] = true
+			changed = true
+		} else {
+			changed = mergeInto(&in[to.Index], st)
+		}
+		if changed || !visited[to.Index] {
 			if !onWork[to.Index] {
 				onWork[to.Index] = true
 				return []*cfg.Block{to}
@@ -519,11 +535,7 @@ func (c *checker) analyze(fd *ast.FuncDecl) {
 		b := work[0]
 		work = work[1:]
 		onWork[b.Index] = false
-		if !visited[b.Index] {
-			// First reach: adopt the incoming state wholesale (nilErr
-			// starts as the predecessor's, not the empty set).
-			visited[b.Index] = true
-		}
+		visited[b.Index] = true
 		st := in[b.Index]
 		for _, n := range b.Nodes {
 			st = c.transfer(n, st)

@@ -201,6 +201,58 @@ func loopLeak(m *Memory, n int) error {
 	return nil
 }
 
+// rangeBalanced acquires and releases per iteration of a range loop;
+// the loop head must not replay the body's acquire, so the unrelated
+// error return after the loop is clean.
+func rangeBalanced(m *Memory, xs []int) error {
+	for i := range xs {
+		if err := m.ShareN(i); err != nil {
+			return err
+		}
+		m.ReleaseN(i)
+	}
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rangeLeak escapes mid-iteration of a range loop with the reference
+// outstanding — the release at loop entry must not mask it.
+func rangeLeak(m *Memory, xs []int) error {
+	for i := range xs {
+		if err := m.ShareN(i); err != nil {
+			return err
+		}
+		if err := work(); err != nil {
+			return err // want `error return with unreleased ShareN`
+		}
+		m.ReleaseN(i)
+	}
+	return nil
+}
+
+// retainOnSuccess deliberately keeps the reference (ownership lives on
+// in the receiver) and returns err after its guard: err is known nil
+// across the block boundary, so this is a success path, not a leak.
+func retainOnSuccess(m *Memory) error {
+	err := m.ShareN(1)
+	if err != nil {
+		return err
+	}
+	return err
+}
+
+// retainOnSuccessNamed is the same shape with a bare return of the named
+// error result.
+func retainOnSuccessNamed(m *Memory) (err error) {
+	err = m.ShareN(1)
+	if err != nil {
+		return
+	}
+	return
+}
+
 // switchLeak leaks through one case only.
 func switchLeak(m *Memory, mode int) error {
 	if err := m.ShareN(5); err != nil {
