@@ -233,12 +233,62 @@ func reportWarmRatios(cpus map[string]map[int]float64) float64 {
 	return best
 }
 
+// reportXferRatios pairs benchmarks whose names differ only in xfer=cold
+// vs xfer=warm and prints the remote-clone dedup speedup (cold ns/op over
+// warm ns/op) at every GOMAXPROCS both sides were measured at. The return
+// value is the best speedup observed at any pair's highest common cpu
+// count — the number the -xfer-min gate checks — or zero when the input
+// holds no such pairs.
+func reportXferRatios(cpus map[string]map[int]float64) float64 {
+	var names []string
+	for name := range cpus {
+		if strings.Contains(name, "xfer=warm") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	best := 0.0
+	printed := false
+	for _, name := range names {
+		warm := cpus[name]
+		cold, ok := cpus[strings.Replace(name, "xfer=warm", "xfer=cold", 1)]
+		if !ok {
+			continue
+		}
+		var common []int
+		for c := range warm {
+			if _, ok := cold[c]; ok {
+				common = append(common, c)
+			}
+		}
+		if len(common) == 0 {
+			continue
+		}
+		sort.Ints(common)
+		if !printed {
+			fmt.Println("remote-clone dedup speedup (xfer=cold ns/op over xfer=warm ns/op):")
+			printed = true
+		}
+		label := strings.Replace(name, "/xfer=warm", "", 1)
+		for _, c := range common {
+			fmt.Printf("%-55s cpu=%-2d cold %14.0f ns/op  warm %14.0f ns/op  %.2fx\n",
+				label, c, cold[c], warm[c], cold[c]/warm[c])
+		}
+		hi := common[len(common)-1]
+		if r := cold[hi] / warm[hi]; r > best {
+			best = r
+		}
+	}
+	return best
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against / update")
 	threshold := flag.Float64("threshold", 0.20, "relative ns/op regression that fails the run (0.20 = +20%)")
 	update := flag.Bool("update", false, "rewrite the baseline's benchmark numbers from the input instead of comparing")
 	schedMin := flag.Float64("sched-min", 0, "minimum affinity speedup (best sched=fixed / sched=affinity pair at its highest -cpu); 0 disables the gate")
 	warmMin := flag.Float64("warm-min", 0, "minimum cached-restore speedup (best mode=cold / mode=warm pair at its highest -cpu); 0 disables the gate")
+	xferMin := flag.Float64("xfer-min", 0, "minimum remote-clone dedup speedup (best xfer=cold / xfer=warm pair at its highest -cpu); 0 disables the gate")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -337,6 +387,11 @@ func main() {
 	bestWarm := reportWarmRatios(cpus)
 	if *warmMin > 0 && bestWarm < *warmMin {
 		fmt.Fprintf(os.Stderr, "benchdiff: best cached-restore speedup %.2fx below required %.2fx\n", bestWarm, *warmMin)
+		os.Exit(1)
+	}
+	bestXfer := reportXferRatios(cpus)
+	if *xferMin > 0 && bestXfer < *xferMin {
+		fmt.Fprintf(os.Stderr, "benchdiff: best remote-clone dedup speedup %.2fx below required %.2fx\n", bestXfer, *xferMin)
 		os.Exit(1)
 	}
 	if regressions > 0 {

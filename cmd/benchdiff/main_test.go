@@ -77,3 +77,22 @@ PASS
 		t.Fatalf("allocs/op = %v, want 86", rec.AllocsPerOp)
 	}
 }
+
+// TestReportXferRatios: xfer=cold / xfer=warm pairs yield the remote-clone
+// dedup speedup at the highest common cpu count; unpaired names don't.
+func TestReportXferRatios(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkRemoteClone/xfer=cold   	  50	  24000000 ns/op
+BenchmarkRemoteClone/xfer=warm   	  50	  16000000 ns/op
+BenchmarkRemoteClone/xfer=cold-8 	  50	  20000000 ns/op
+BenchmarkRemoteClone/xfer=warm-8 	  50	  10000000 ns/op
+BenchmarkOther/xfer=warm         	  50	   1000000 ns/op
+`)
+	_, cpus, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best := reportXferRatios(cpus); best != 2.0 {
+		t.Fatalf("best xfer speedup = %v, want 2.0 (cpu=8 pair)", best)
+	}
+}

@@ -35,7 +35,7 @@ import (
 var traceSink *obs.Trace
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11, 'mp' (multi-parent throughput), 'lazy' (lazy-clone latency) or 'all'")
+	figFlag := flag.String("fig", "all", "figure to regenerate: 4..11, 'mp' (multi-parent throughput), 'lazy' (lazy-clone latency), 'cluster' (cross-host scale-out) or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write one CSV per series into this directory (for plotting)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
@@ -64,19 +64,20 @@ func main() {
 	}
 
 	runners := map[string]func(bool) (*bench.Figure, error){
-		"4":  runFig4,
-		"5":  runFig5,
-		"6":  runFig6,
-		"7":  runFig7,
-		"8":  runFig8,
-		"9":  runFig9,
-		"10": runFig10,
-		"11": runFig11,
+		"4":       runFig4,
+		"5":       runFig5,
+		"6":       runFig6,
+		"7":       runFig7,
+		"8":       runFig8,
+		"9":       runFig9,
+		"10":      runFig10,
+		"11":      runFig11,
 		"mp":      runMultiParent,
 		"lazy":    runFigLazy,
 		"sandbox": runSandbox,
+		"cluster": runFigCluster,
 	}
-	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "mp", "lazy", "sandbox"}
+	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "mp", "lazy", "sandbox", "cluster"}
 
 	var selected []string
 	if *figFlag == "all" {
@@ -84,7 +85,7 @@ func main() {
 	} else if _, ok := runners[*figFlag]; ok {
 		selected = []string{*figFlag}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..11, mp, lazy, sandbox or all)\n", *figFlag)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..11, mp, lazy, sandbox, cluster or all)\n", *figFlag)
 		os.Exit(2)
 	}
 
@@ -229,6 +230,15 @@ func runFigLazy(quick bool) (*bench.Figure, error) {
 	}
 	cfg.Trace = traceSink
 	return bench.FigLazy(cfg)
+}
+
+func runFigCluster(quick bool) (*bench.Figure, error) {
+	cfg := bench.DefaultFigCluster()
+	if quick {
+		cfg.Hosts = []int{2, 4}
+		cfg.GuestMB = 16
+	}
+	return bench.FigCluster(cfg)
 }
 
 func runSandbox(quick bool) (*bench.Figure, error) {

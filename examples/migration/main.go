@@ -12,6 +12,7 @@ import (
 
 	"nephele/internal/core"
 	"nephele/internal/netsim"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 )
 
@@ -40,8 +41,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("migrated %q: %d pages moved, downtime %v (virtual)\n",
-		newRec.Config.Name, res.PagesMoved, res.Downtime)
+	fmt.Printf("migrated %q: %d KiB moved, downtime %v (virtual)\n",
+		newRec.Config.Name, res.TransferBytes>>10, res.Downtime)
 
 	newDom, _ := machineB.HV.Domain(newRec.ID)
 	buf := make([]byte, 17)
@@ -50,10 +51,12 @@ func main() {
 	fmt.Printf("machine A: %s | machine B: %s\n", machineA, machineB)
 
 	// The migrated guest clones normally on its new home...
-	cres, err := machineB.Clone(newRec.ID, newRec.ID, 1, nil)
+	cresAll, err := machineB.CloneOp(obs.OpCtx{},
+		core.CloneSpec{Caller: newRec.ID, Parent: newRec.ID, Count: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	cres := cresAll[0]
 	fmt.Printf("cloned on machine B: child domain %d in %v\n",
 		cres.Children[0], cres.Total)
 

@@ -43,6 +43,13 @@ var ObsPkgs = []string{"nephele/internal/obs"}
 // NewMeter.
 var MeterPkgs = []string{"nephele/internal/vclock"}
 
+// CorePkgs are the import paths of the platform-surface packages whose
+// exported entry points must be OpCtx-first: a new exported function or
+// method there taking a *vclock.Meter without an obs.OpCtx re-introduces
+// the legacy meter-threading shape the PR 5 redesign retired. The kept
+// deprecated wrappers carry explicit //nephele:opctx-ok waivers.
+var CorePkgs = []string{"nephele/internal/core"}
+
 func in(paths []string, path string) bool {
 	for _, p := range paths {
 		if p == path {
@@ -57,10 +64,15 @@ func run(pass *analysis.Pass) error {
 	if in(ObsPkgs, pass.Pkg.Path()) {
 		return nil
 	}
+	core := in(CorePkgs, pass.Pkg.Path())
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			switch d := d.(type) {
 			case *ast.FuncDecl:
+				if core && d.Name.IsExported() &&
+					!hasOpCtxParam(pass, d.Type.Params) && hasMeterParam(pass, d.Type.Params) {
+					pass.Reportf(d.Pos(), "meter-first signature in core: exported %s takes *vclock.Meter without an obs.OpCtx; new entry points are OpCtx-first (deprecated wrappers carry a //nephele:opctx-ok waiver)", d.Name.Name)
+				}
 				if d.Body == nil {
 					continue
 				}
@@ -80,6 +92,33 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// hasMeterParam reports whether the parameter list contains a
+// *vclock.Meter.
+func hasMeterParam(pass *analysis.Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		p, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := p.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Meter" && obj.Pkg() != nil && in(MeterPkgs, obj.Pkg().Path()) {
+			return true
+		}
+	}
+	return false
 }
 
 // checkLits finds function literals that themselves take an obs.OpCtx

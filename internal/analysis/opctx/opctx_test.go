@@ -16,3 +16,15 @@ func TestOpCtx(t *testing.T) {
 
 	analysistest.Run(t, filepath.Join("testdata", "src", "a"), opctx.Analyzer)
 }
+
+// TestOpCtxCoreSignatures exercises the meter-first-signature rule over
+// the core fixture: exported meter-taking entry points fire unless waived.
+func TestOpCtxCoreSignatures(t *testing.T) {
+	oldObs, oldMeter, oldCore := opctx.ObsPkgs, opctx.MeterPkgs, opctx.CorePkgs
+	opctx.ObsPkgs = []string{"nephele/internal/analysis/opctx/testdata/src/obs"}
+	opctx.MeterPkgs = []string{"nephele/internal/analysis/opctx/testdata/src/vclock"}
+	opctx.CorePkgs = []string{"nephele/internal/analysis/opctx/testdata/src/core"}
+	t.Cleanup(func() { opctx.ObsPkgs, opctx.MeterPkgs, opctx.CorePkgs = oldObs, oldMeter, oldCore })
+
+	analysistest.Run(t, filepath.Join("testdata", "src", "core"), opctx.Analyzer)
+}

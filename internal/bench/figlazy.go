@@ -54,15 +54,12 @@ func figLazyClone(mb int, mode mem.CloneMode, tr *obs.Trace) (first, stream vclo
 	if _, err := guest.Boot(p, rec, guest.FlavorMiniOS, nil); err != nil {
 		return 0, 0, 0, 0, err
 	}
-	var res *core.CloneResult
-	if mode == mem.CloneLazy {
-		res, err = p.CloneLazy(rec.ID, rec.ID, 1, nil)
-	} else {
-		res, err = p.Clone(rec.ID, rec.ID, 1, nil)
-	}
+	results, err := p.CloneOp(obs.OpCtx{},
+		core.CloneSpec{Caller: rec.ID, Parent: rec.ID, Count: 1, Mode: mode})
 	if err != nil {
 		return 0, 0, 0, 0, fmt.Errorf("figlazy clone: %w", err)
 	}
+	res := results[0]
 	first = res.Stats.FirstStage
 	deferred = res.Stats.Memory.Deferred
 	pages = mb << 20 / mem.PageSize

@@ -136,10 +136,12 @@ func TestLazyDemandFaultSpan(t *testing.T) {
 	if _, err := guest.Boot(p, rec, guest.FlavorMiniOS, nil); err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.CloneLazy(rec.ID, rec.ID, 1, nil)
+	results, err := p.CloneOp(obs.OpCtx{},
+		core.CloneSpec{Caller: rec.ID, Parent: rec.ID, Count: 1, Mode: mem.CloneLazy})
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := results[0]
 	d, err := p.HV.Domain(res.Children[0])
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"nephele/internal/core"
 	"nephele/internal/hv"
 	"nephele/internal/netsim"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 )
 
@@ -82,11 +83,11 @@ func MultiParent(cfg MultiParentConfig) (*Figure, error) {
 		clones := 0
 		wall, err := MeasureWall(func() error {
 			for round := 0; round < cfg.Rounds; round++ {
-				reqs := make([]hv.CloneRequest, parents)
+				specs := make([]core.CloneSpec, parents)
 				for i, id := range ids {
-					reqs[i] = hv.CloneRequest{Caller: id, Target: id, N: cfg.ClonesEach, CopyRing: true}
+					specs[i] = core.CloneSpec{Caller: id, Parent: id, Count: cfg.ClonesEach}
 				}
-				results, err := p.CloneMany(reqs, nil)
+				results, err := p.CloneOp(obs.OpCtx{}, specs...)
 				if err != nil {
 					return err
 				}

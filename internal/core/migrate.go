@@ -30,21 +30,28 @@ var (
 	ErrMigrateSelf  = errors.New("core: source and target are the same platform")
 )
 
-// MigrateResult reports one completed migration.
+// MigrateResult reports one completed migration. The embedded OpResult
+// carries the fields shared with clones: Children[0] is the domain's ID on
+// the target machine, Total the end-to-end latency, TransferBytes the full
+// image moved (stop-and-copy ships every allocated page).
 type MigrateResult struct {
-	// NewID is the domain's ID on the target machine.
-	NewID DomID
-	// Downtime is the virtual time the guest was paused (stop-and-copy:
-	// the whole operation).
+	OpResult
+	// Downtime is the virtual time the guest was paused. Stop-and-copy
+	// pauses for the whole operation, so it equals Total today.
 	Downtime vclock.Duration
-	// PagesMoved counts the transferred frames.
-	PagesMoved int
 }
 
+// NewID returns the domain's ID on the target machine.
+func (r *MigrateResult) NewID() DomID { return r.Children[0] }
+
 // Migrate moves a running domain from p to target. The returned record
-// belongs to target's toolstack. It is the legacy meter-threading form of
-// MigrateOp, kept so existing callers and tests migrate incrementally; the
-// trace attached with Observe rides along.
+// belongs to target's toolstack.
+//
+// Deprecated: it is the legacy meter-threading form of MigrateOp, kept so
+// existing callers and tests migrate incrementally; the trace attached
+// with Observe rides along.
+//
+//nephele:opctx-ok deprecated meter wrapper around MigrateOp
 func (p *Platform) Migrate(id DomID, target *Platform, name string, meter *vclock.Meter) (*toolstack.Record, *MigrateResult, error) {
 	return p.MigrateOp(p.opCtx(meter), id, target, name)
 }
@@ -124,9 +131,13 @@ func (p *Platform) MigrateOp(ctx obs.OpCtx, id DomID, target *Platform, name str
 	if err := p.XL.Destroy(id, meter); err != nil {
 		return nil, nil, err
 	}
+	downtime := meter.Elapsed() - start
 	return newRec, &MigrateResult{
-		NewID:      newRec.ID,
-		Downtime:   meter.Elapsed() - start,
-		PagesMoved: img.Pages(),
+		OpResult: OpResult{
+			Children:      []DomID{newRec.ID},
+			Total:         downtime,
+			TransferBytes: int64(img.Pages()) * mem.PageSize,
+		},
+		Downtime: downtime,
 	}, nil
 }

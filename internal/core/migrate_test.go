@@ -41,11 +41,14 @@ func TestMigrateMovesDomainAcrossPlatforms(t *testing.T) {
 	if src.Memory().Instances != 0 || dst.Memory().Instances != 1 {
 		t.Fatalf("instance counts = %d/%d", src.Memory().Instances, dst.Memory().Instances)
 	}
-	if res.PagesMoved != rec.Config.Pages() {
-		t.Fatalf("PagesMoved = %d", res.PagesMoved)
+	if res.TransferBytes != int64(rec.Config.Pages())*mem.PageSize {
+		t.Fatalf("TransferBytes = %d", res.TransferBytes)
 	}
-	if res.Downtime <= 0 {
-		t.Fatal("no downtime recorded")
+	if res.NewID() != newRec.ID || len(res.Children) != 1 {
+		t.Fatalf("Children = %v, want [%d]", res.Children, newRec.ID)
+	}
+	if res.Downtime <= 0 || res.Total != res.Downtime {
+		t.Fatalf("Downtime = %v, Total = %v", res.Downtime, res.Total)
 	}
 	// The new domain's p2m maps target frames (all resolvable).
 	if _, err := newDom.Space().MFNOf(mem.PFN(0)); err != nil {

@@ -7,7 +7,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -84,6 +83,8 @@ type Platform struct {
 	mu sync.Mutex
 	// cloneTotals tracks total clone latencies per child for reporting.
 	cloneTotals map[DomID]vclock.Duration
+	// router executes placed clone specs across a cluster (SetCloneRouter).
+	router CloneRouter
 
 	// trace is the sink attached with Observe; the legacy meter-taking
 	// entry points pick it up so existing callers get spans without
@@ -205,7 +206,11 @@ func (p *Platform) opCtx(meter *vclock.Meter) obs.OpCtx {
 	return ctx
 }
 
-// Boot creates a domain with xl (the regular instantiation path).
+// Boot creates a domain with xl (the regular instantiation path). Boot
+// predates the OpCtx redesign and has no span tree of its own; it threads
+// the meter straight to the toolstack.
+//
+//nephele:opctx-ok meter-threading boot path; no OpCtx form exists
 func (p *Platform) Boot(cfg toolstack.DomainConfig, meter *vclock.Meter) (*toolstack.Record, error) {
 	return p.XL.Create(cfg, meter)
 }
@@ -222,15 +227,22 @@ func (p *Platform) NewImageStore(maxResidentMB int) *toolstack.ImageStore {
 // RestoreCached restores an image through the snapshot cache: a warm image
 // materializes the child by COW-sharing the cache's resident frames, a
 // cold one falls back to the copying restore and populates the cache. The
-// bool result reports whether the cache served the restore. The trace
+// bool result reports whether the cache served the restore.
+//
+// Deprecated: it is the legacy meter-threading form of XL.RestoreCachedOp,
+// kept so existing callers and tests migrate incrementally; the trace
 // attached with Observe rides along (spans image-hash and restore-cached).
+//
+//nephele:opctx-ok deprecated meter wrapper around XL.RestoreCachedOp
 func (p *Platform) RestoreCached(store *toolstack.ImageStore, img *toolstack.Image, name string, meter *vclock.Meter) (*toolstack.Record, bool, error) {
 	return p.XL.RestoreCachedOp(p.opCtx(meter), store, img, name)
 }
 
-// CloneResult describes one completed clone operation.
+// CloneResult describes one completed clone operation. The embedded
+// OpResult carries the fields shared with migrations (children, total
+// latency, transfer bytes).
 type CloneResult struct {
-	Children []DomID
+	OpResult
 	// Failed lists children whose second stage failed and were rolled
 	// back and aborted (empty on full success).
 	Failed []DomID
@@ -239,188 +251,61 @@ type CloneResult struct {
 	// SecondStage is the xencloned time, including device cloning and
 	// userspace operations.
 	SecondStage vclock.Duration
-	// Total is the fork()-call latency: from the hypercall entry to all
-	// children being ready.
-	Total vclock.Duration
-	// Stats is the hypervisor-side work breakdown.
+	// Stats is the hypervisor-side work breakdown (nil for children
+	// materialized by a remote clone's restore path).
 	Stats *hv.CloneOpStats
-	// Err is set on entries of a CloneMany round whose request failed
-	// first-stage admission (always nil from Clone, which returns the
-	// error directly).
+	// Err is set on entries of a multi-spec round whose spec failed
+	// first-stage admission (always nil from a single-spec CloneOp, which
+	// returns the error directly).
 	Err error
 }
 
 // Clone clones a running domain n times: the complete two-stage Nephele
 // operation, executed synchronously with exact virtual-time accounting.
 // caller is the domain invoking the CLONEOP hypercall — the guest itself
-// for fork(), or Dom0 when triggered from outside (fuzzing). It is the
-// legacy meter-threading form of CloneOp, kept so existing callers and
-// tests migrate incrementally; the trace attached with Observe rides
-// along.
+// for fork(), or Dom0 when triggered from outside (fuzzing).
+//
+// Deprecated: it is the legacy meter-threading form of CloneOp, kept so
+// existing callers and tests migrate incrementally; the trace attached
+// with Observe rides along.
+//
+//nephele:opctx-ok deprecated meter wrapper around CloneOp
 func (p *Platform) Clone(caller, target DomID, n int, meter *vclock.Meter) (*CloneResult, error) {
-	return p.CloneOp(p.opCtx(meter), caller, target, n)
-}
-
-// CloneOp is the canonical form of Clone: the operation context carries
-// the virtual-time meter, the optional trace sink and the fault scope in
-// one value. The recorded span tree is
-//
-//	clone-op → clone-request (first stage) + parent-paused → second-stage
-//
-// with parent-paused covering the daemon's work and the completion wait —
-// exactly the interval the parent is frozen waiting for its children.
-func (p *Platform) CloneOp(ctx obs.OpCtx, caller, target DomID, n int) (*CloneResult, error) {
-	return p.CloneOpMode(ctx, caller, target, n, mem.CloneEager)
-}
-
-// CloneLazy is the meter-threading convenience for a lazy clone: only the
-// hot extents (metadata frames, start info, shared rings) are stamped at
-// CLONEOP time and a background streamer populates the rest, demand faults
-// winning races with it. Call WaitStreamed to join a child's streamer and
-// fold its deferred virtual time back onto a meter.
-func (p *Platform) CloneLazy(caller, target DomID, n int, meter *vclock.Meter) (*CloneResult, error) {
-	return p.CloneOpMode(p.opCtx(meter), caller, target, n, mem.CloneLazy)
-}
-
-// CloneOpMode is CloneOp with an explicit population mode (eager or lazy).
-func (p *Platform) CloneOpMode(ctx obs.OpCtx, caller, target DomID, n int, mode mem.CloneMode) (*CloneResult, error) {
-	ctx = ctx.EnsureMeter(p.Costs)
-	meter := ctx.Meter()
-	ctx, span := ctx.StartSpan("clone-op")
-	start := meter.Elapsed()
-	r := p.HV.Clone(hv.CloneRequest{Caller: caller, Target: target, N: n, CopyRing: true, Mode: mode, Ctx: ctx})
-	if r.Err != nil {
-		span.End()
-		return nil, r.Err
+	res, err := p.CloneOp(p.opCtx(meter), CloneSpec{Caller: caller, Parent: target, Count: n})
+	if len(res) == 0 {
+		return nil, err
 	}
-	kids, stats, done := r.Children, r.Stats, r.Done
-	secondStart := meter.Elapsed()
-	pctx, pspan := ctx.StartSpan("parent-paused")
-	_, serveErr := p.Cloned.Serve(pctx)
-	// The parent resumes even when some second stages failed: failed
-	// children are aborted, which also releases their completion waits,
-	// so this wait cannot deadlock.
-	<-done
-	pspan.End()
-	span.End()
-	res := &CloneResult{
-		FirstStage:  stats.FirstStage,
-		SecondStage: meter.Elapsed() - secondStart,
-		Total:       meter.Elapsed() - start,
-		Stats:       stats,
-	}
-	for _, k := range kids {
-		if out, ok := p.HV.CloneOutcome(k); ok && out == hv.OutcomeAborted {
-			res.Failed = append(res.Failed, k)
-			continue
-		}
-		res.Children = append(res.Children, k)
-	}
-	p.mu.Lock()
-	for _, k := range res.Children {
-		p.cloneTotals[k] = res.Total
-	}
-	p.mu.Unlock()
-	if serveErr != nil {
-		return res, fmt.Errorf("core: clone of %d: %d of %d children failed: %w",
-			target, len(res.Failed), len(kids), serveErr)
-	}
-	return res, nil
+	return res[0], err
 }
 
 // CloneMany clones several independent running domains in one multi-parent
 // scheduling round — the FaaS/NGINX autoscaling scenario (§7), where many
-// parents fork at once. The first stage admits every request in order into
-// one bounded worker pool (hv.CloneOpCloneBatch) and a single ServeAll
-// drains all the children's second stages together.
+// parents fork at once. The returned slice is positionally parallel to
+// reqs; an entry whose request failed admission has only Err set.
 //
-// Each request charges its own CloneRequest.Meter (one is created when
-// nil), so any single parent's virtual-time output is identical to calling
-// Clone alone; meter receives only the shared second-stage charges, which
-// every returned CloneResult reports as its SecondStage. The returned
-// slice is positionally parallel to reqs; an entry whose request failed
-// admission has only Err set. The error joins admission and second-stage
-// failures. It is the legacy meter-threading form of CloneManyOp, kept so
-// existing callers and tests migrate incrementally; the trace attached
-// with Observe rides along.
+// Deprecated: it is the legacy hv.CloneRequest-threading form of CloneOp,
+// kept so existing callers and tests migrate incrementally; the trace
+// attached with Observe rides along. The core path always copies the
+// notification ring (req.CopyRing is ignored).
+//
+//nephele:opctx-ok deprecated meter wrapper around CloneOp
 func (p *Platform) CloneMany(reqs []hv.CloneRequest, meter *vclock.Meter) ([]*CloneResult, error) {
-	return p.CloneManyOp(p.opCtx(meter), reqs)
+	specs := make([]CloneSpec, len(reqs))
+	for i, r := range reqs {
+		sctx := r.Ctx
+		if sctx.Meter() == nil && r.Meter != nil {
+			sctx = sctx.WithMeter(r.Meter)
+		}
+		specs[i] = CloneSpec{Caller: r.Caller, Parent: r.Target, Count: r.N,
+			Mode: r.Mode, Ctx: sctx}
+	}
+	return p.CloneOp(p.opCtx(meter), specs...)
 }
 
-// CloneManyOp is the canonical form of CloneMany. ctx carries the meter
-// charged with the shared second-stage work and the optional trace sink;
-// each request that arrives without its own context inherits the sink
-// (each request's clone-request span tree is recorded top-level, one lane
-// per parent) around a private meter, preserving per-parent virtual-time
-// isolation.
-func (p *Platform) CloneManyOp(ctx obs.OpCtx, reqs []hv.CloneRequest) ([]*CloneResult, error) {
-	ctx = ctx.EnsureMeter(p.Costs)
-	meter := ctx.Meter()
-	ctx, span := ctx.StartSpan("clone-round")
-	defer span.End()
-	for i := range reqs {
-		if reqs[i].Ctx.Meter() == nil {
-			m := reqs[i].Meter
-			if m == nil {
-				m = p.NewMeter()
-			}
-			reqs[i].Ctx = reqs[i].Ctx.WithMeter(m)
-		}
-		if reqs[i].Ctx.Trace() == nil {
-			if t := ctx.Trace(); t != nil {
-				reqs[i].Ctx = reqs[i].Ctx.WithTrace(t)
-			}
-		}
-	}
-	starts := make([]vclock.Duration, len(reqs))
-	for i := range reqs {
-		starts[i] = reqs[i].Ctx.Meter().Elapsed()
-	}
-	secondStart := meter.Elapsed()
-	batch, _, serveErr := p.Cloned.CloneRound(ctx, reqs)
-	second := meter.Elapsed() - secondStart
-
-	errs := []error{serveErr}
-	out := make([]*CloneResult, len(reqs))
-	for i, b := range batch {
-		if b.Err != nil {
-			out[i] = &CloneResult{Err: b.Err}
-			errs = append(errs, fmt.Errorf("core: clone of %d: %w", reqs[i].Target, b.Err))
-			continue
-		}
-		res := &CloneResult{
-			FirstStage:  b.Stats.FirstStage,
-			SecondStage: second,
-			Total:       reqs[i].Ctx.Meter().Elapsed() - starts[i] + second,
-			Stats:       b.Stats,
-		}
-		for _, k := range b.Children {
-			if outc, ok := p.HV.CloneOutcome(k); ok && outc == hv.OutcomeAborted {
-				res.Failed = append(res.Failed, k)
-				continue
-			}
-			res.Children = append(res.Children, k)
-		}
-		p.mu.Lock()
-		for _, k := range res.Children {
-			p.cloneTotals[k] = res.Total
-		}
-		p.mu.Unlock()
-		out[i] = res
-	}
-	return out, errors.Join(errs...)
-}
-
-// Restride rebuilds the machine pool's shard layout at a new power-of-two
-// shard count — the operator knob for matching lock granularity to fleet
-// width (few shards for single-tenant determinism, many for wide
-// multi-parent clone rounds). It is the legacy meter-threading form of
-// RestrideOp.
-func (p *Platform) Restride(n int, meter *vclock.Meter) error {
-	return p.RestrideOp(p.opCtx(meter), n)
-}
-
-// RestrideOp is the canonical form of Restride. The operation records a
+// RestrideOp rebuilds the machine pool's shard layout at a new
+// power-of-two shard count — the operator knob for matching lock
+// granularity to fleet width (few shards for single-tenant determinism,
+// many for wide multi-parent clone rounds). The operation records a
 // restride span and feeds the wall-clock rebuild latency into the
 // platform registry as mem.restride.us — wall time, not virtual time: a
 // re-stride moves host-side metadata only and charges nothing to any
@@ -452,7 +337,10 @@ func (p *Platform) CloneTotal(child DomID) (vclock.Duration, bool) {
 	return d, ok
 }
 
-// Destroy tears a domain down through the toolstack.
+// Destroy tears a domain down through the toolstack. Like Boot it has no
+// span tree of its own and threads the meter straight through.
+//
+//nephele:opctx-ok meter-threading teardown path; no OpCtx form exists
 func (p *Platform) Destroy(id DomID, meter *vclock.Meter) error {
 	return p.XL.Destroy(id, meter)
 }

@@ -104,6 +104,19 @@ const (
 	// an armed point destroys the fresh child and the restore fails
 	// cleanly with the cache intact.
 	PointCacheRestore = "toolstack/cache-restore"
+
+	// Cross-host clone transfers (the cluster remote-clone path).
+
+	// PointClusterXfer fires on the sending side after the transfer plan
+	// is built but before anything is committed on the receiver; an armed
+	// point fails the remote clone with no child created, the receiver's
+	// image store untouched, and no vector-clock movement on either host.
+	PointClusterXfer = "cluster/xfer"
+	// PointClusterMaterialize fires on the receiving side after the
+	// extents have arrived but before the child is restored; an armed
+	// point rolls the materialization back — no child domain survives on
+	// the peer and the receiver's vector clock does not tick.
+	PointClusterMaterialize = "cluster/materialize"
 )
 
 // CachePoints lists the fault points of the snapshot image cache. Like
@@ -157,6 +170,15 @@ func LazyPoints() []string {
 // unwind.
 func MaintenancePoints() []string {
 	return []string{PointMemRestride}
+}
+
+// ClusterPoints lists the fault points of the cross-host remote-clone
+// path. Both sit outside PipelinePoints: the sender fails the transfer
+// before the receiver commits anything (xfer) or the receiver destroys its
+// partial child (materialize), so the cluster rolls back by itself with no
+// pipeline protocol involved.
+func ClusterPoints() []string {
+	return []string{PointClusterXfer, PointClusterMaterialize}
 }
 
 // Error is the failure an armed fault point returns.

@@ -41,6 +41,7 @@ func TestPointListsCoverTree(t *testing.T) {
 		"PipelinePoints":    fault.PipelinePoints(),
 		"LazyPoints":        fault.LazyPoints(),
 		"MaintenancePoints": fault.MaintenancePoints(),
+		"ClusterPoints":     fault.ClusterPoints(),
 	}
 	enumerated := make(map[string]bool)
 	for name, pts := range lists {

@@ -8,6 +8,7 @@ import (
 	"nephele/internal/gmem"
 	"nephele/internal/guest"
 	"nephele/internal/mem"
+	"nephele/internal/obs"
 	"nephele/internal/proc"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
@@ -173,11 +174,12 @@ func NewSession(cfg Config) (*Session, error) {
 // through the clone_cow CLONEOP subcommand, so the family-shared frames
 // stay pristine.
 func (s *Session) setupClone() error {
-	res, err := s.p.Clone(mem.DomID0, s.parentVM.Dom, 1, nil)
+	results, err := s.p.CloneOp(obs.OpCtx{},
+		core.CloneSpec{Caller: mem.DomID0, Parent: s.parentVM.Dom, Count: 1})
 	if err != nil {
 		return err
 	}
-	dom, err := s.p.HV.Domain(res.Children[0])
+	dom, err := s.p.HV.Domain(results[0].Children[0])
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"nephele/internal/hv"
 	"nephele/internal/mem"
 	"nephele/internal/netsim"
+	"nephele/internal/obs"
 	"nephele/internal/toolstack"
 	"nephele/internal/vclock"
 )
@@ -275,10 +276,12 @@ func (k *Kernel) Fork(n int, childMain func(ck *Kernel), meter *vclock.Meter) (*
 	}
 	k.mu.Unlock()
 
-	res, err := k.P.Clone(k.Dom, k.Dom, n, meter)
+	results, err := k.P.CloneOp(obs.Ctx(meter),
+		core.CloneSpec{Caller: k.Dom, Parent: k.Dom, Count: n})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	out := &ForkResult{Clone: res}
 	for _, child := range res.Children {
 		ck, err := k.adoptChild(child)

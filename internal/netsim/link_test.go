@@ -1,0 +1,92 @@
+package netsim
+
+import "testing"
+
+func TestFabricMesh(t *testing.T) {
+	f := NewFabric(4, 2)
+	if f.Hosts() != 4 || f.Width() != 2 {
+		t.Fatalf("fabric %d hosts width %d", f.Hosts(), f.Width())
+	}
+	ab, err := f.Link(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := f.Link(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab != ba {
+		t.Fatal("Link(1,3) and Link(3,1) are different objects")
+	}
+	if a, b := ab.Ends(); a != 1 || b != 3 {
+		t.Fatalf("Ends = %d,%d", a, b)
+	}
+	if _, err := f.Link(0, 4); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	if _, err := f.Link(2, 2); err == nil {
+		t.Fatal("self link accepted")
+	}
+}
+
+func TestLinkPlan(t *testing.T) {
+	f := NewFabric(2, 2)
+	l, err := f.Link(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := []Chunk{
+		{Hash: 0, Pages: 10}, // slave 0
+		{Hash: 1, Pages: 6},  // slave 1
+		{Hash: 2, Pages: 4},  // slave 0
+		{Hash: 3, Pages: 8},  // deduped below
+		{Hash: 5, Pages: 0},  // header-only (zero/alias run)
+	}
+	plan := l.Plan(chunks, func(c Chunk) bool { return c.Hash == 3 })
+	l.Commit(plan)
+	if plan.Chunks != 5 {
+		t.Fatalf("Chunks = %d, want 5", plan.Chunks)
+	}
+	if plan.Pages != 20 {
+		t.Fatalf("Pages = %d, want 20", plan.Pages)
+	}
+	if plan.DedupPages != 8 {
+		t.Fatalf("DedupPages = %d, want 8", plan.DedupPages)
+	}
+	if plan.SlavePages[0] != 14 || plan.SlavePages[1] != 6 {
+		t.Fatalf("SlavePages = %v", plan.SlavePages)
+	}
+	if plan.MaxSlavePages != 14 {
+		t.Fatalf("MaxSlavePages = %d, want 14", plan.MaxSlavePages)
+	}
+	tr, sent, dedup := l.Stats()
+	if tr != 1 || sent != 20 || dedup != 8 {
+		t.Fatalf("Stats = %d,%d,%d", tr, sent, dedup)
+	}
+	// A second identical plan is deterministic; an uncommitted plan (an
+	// aborted transfer) leaves the counters alone.
+	plan2 := l.Plan(chunks, func(c Chunk) bool { return c.Hash == 3 })
+	if plan2.MaxSlavePages != plan.MaxSlavePages || plan2.Pages != plan.Pages {
+		t.Fatal("identical transfer planned differently")
+	}
+	tr, sent, dedup = l.Stats()
+	if tr != 1 || sent != 20 || dedup != 8 {
+		t.Fatalf("Stats after uncommitted plan = %d,%d,%d", tr, sent, dedup)
+	}
+	l.Commit(plan2)
+	if tr, sent, dedup = l.Stats(); tr != 2 || sent != 40 || dedup != 16 {
+		t.Fatalf("Stats after 2nd commit = %d,%d,%d", tr, sent, dedup)
+	}
+}
+
+func TestLinkPlanWidthOne(t *testing.T) {
+	f := NewFabric(2, 0) // clamped to 1
+	l, _ := f.Link(0, 1)
+	if l.Width() != 1 {
+		t.Fatalf("width = %d, want 1 (clamped)", l.Width())
+	}
+	plan := l.Plan([]Chunk{{Hash: 7, Pages: 5}, {Hash: 8, Pages: 3}}, nil)
+	if plan.MaxSlavePages != 8 {
+		t.Fatalf("single-slave MaxSlavePages = %d, want 8", plan.MaxSlavePages)
+	}
+}

@@ -2,6 +2,8 @@ package toolstack
 
 import (
 	"encoding/json"
+
+	"nephele/internal/mem"
 )
 
 // The image cache keys chunks and images with FNV-1a 64. The hash is
@@ -88,4 +90,56 @@ func (img *Image) ensureHashed() {
 func (img *Image) CacheKey() uint64 {
 	img.ensureHashed()
 	return img.key
+}
+
+// RunKind classifies one image extent for transfer planning.
+type RunKind int
+
+const (
+	// RunZero: pages the guest never wrote; nothing stored, nothing shipped.
+	RunZero RunKind = iota
+	// RunAlias: a family-shared range repeating an earlier extent; ships as
+	// a header only.
+	RunAlias
+	// RunData: genuinely distinct written pages with a content hash.
+	RunData
+)
+
+// RunInfo describes one image extent without exposing its page storage:
+// the geometry, the kind, how many page slots a data run stores, and the
+// data run's content hash (the cross-host dedup identity — the same FNV
+// key the receiver's ImageStore chunks under).
+type RunInfo struct {
+	Start       mem.PFN
+	Count       int
+	Kind        RunKind
+	StoredPages int    // non-nil page slots in a data run; 0 otherwise
+	Hash        uint64 // content hash of a data run; 0 otherwise
+}
+
+// RunInfos returns the transfer-planning view of the image's extents, in
+// layout order. The first call hashes the image.
+func (img *Image) RunInfos() []RunInfo {
+	img.ensureHashed()
+	out := make([]RunInfo, len(img.runs))
+	for i := range img.runs {
+		r := &img.runs[i]
+		ri := RunInfo{Start: r.start, Count: r.count}
+		switch {
+		case r.isAlias:
+			ri.Kind = RunAlias
+		case r.pages == nil:
+			ri.Kind = RunZero
+		default:
+			ri.Kind = RunData
+			ri.Hash = img.runHashes[i]
+			for _, data := range r.pages {
+				if data != nil {
+					ri.StoredPages++
+				}
+			}
+		}
+		out[i] = ri
+	}
+	return out
 }

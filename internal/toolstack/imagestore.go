@@ -165,6 +165,35 @@ func (st *ImageStore) Contains(img *Image) bool {
 	return ok
 }
 
+// HasChunk reports whether a data run with the given content hash is
+// resident — the receiver-side dedup query of a cross-host transfer (no
+// counter side effects; the transfer accounts its own dedup totals).
+func (st *ImageStore) HasChunk(hash uint64) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.chunks[hash]
+	return ok
+}
+
+// WarmPages reports how many of the image's stored data pages are already
+// resident by content — the portion of a transfer that dedup would skip if
+// the image were shipped here now.
+func (st *ImageStore) WarmPages(img *Image) int {
+	infos := img.RunInfos()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	warm := 0
+	for _, ri := range infos {
+		if ri.Kind != RunData {
+			continue
+		}
+		if _, ok := st.chunks[ri.Hash]; ok {
+			warm += ri.StoredPages
+		}
+	}
+	return warm
+}
+
 // noteAdopted counts frames handed to a child by a cached restore.
 func (st *ImageStore) noteAdopted(n int) {
 	st.mu.Lock()

@@ -52,6 +52,15 @@ type CostModel struct {
 	Introduce        Duration // introducing a new domain to xenstored
 	CloneRetryBase   Duration // base backoff before retrying a transient second-stage fault (doubles per attempt)
 
+	// Cluster interconnect (cross-host clone transfers over the bonded
+	// inter-host links). Per-page cost is per link slave: a bonded link of
+	// width w moves its extents over w slaves in parallel, so the wire
+	// time of a transfer is XferPage x the busiest slave's page count.
+
+	XferSetup Duration // per-transfer session setup (peer handshake, stream open)
+	XferChunk Duration // per-extent header + content-hash dedup exchange
+	XferPage  Duration // shipping one 4 KiB page over one link slave
+
 	// Guest-side work.
 
 	GuestBootKernel Duration // unikernel early boot up to app main (Mini-OS)
@@ -106,6 +115,10 @@ func DefaultCosts() *CostModel {
 		XenclonedWake:    400 * time.Microsecond,
 		Introduce:        650 * time.Microsecond,
 		CloneRetryBase:   500 * time.Microsecond,
+
+		XferSetup: 150 * time.Microsecond,
+		XferChunk: 8 * time.Microsecond,
+		XferPage:  1500 * time.Nanosecond,
 
 		GuestBootKernel: 12 * time.Millisecond,
 		GuestNetReady:   2 * time.Millisecond,
